@@ -1,0 +1,76 @@
+// Shared harness for the figure/table reproduction binaries.
+//
+// Every bench prints the same rows/series the paper reports (speedups
+// normalized to the 1-node configuration, plus absolute rates). Machine
+// sizes and graph scales are reduced to what one host core simulates in
+// seconds; set UD_BENCH_SCALE=1|2|3 to enlarge (2 roughly quadruples the
+// work, 3 is a long run).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace updown::bench {
+
+inline int scale_level() {
+  const char* env = std::getenv("UD_BENCH_SCALE");
+  return env ? std::atoi(env) : 1;
+}
+
+/// Node counts for strong-scaling sweeps at the current scale level.
+inline std::vector<std::uint32_t> node_sweep() {
+  switch (scale_level()) {
+    case 2:
+      return {1, 2, 4, 8, 16, 32};
+    case 3:
+      return {1, 2, 4, 8, 16, 32, 64};
+    default:
+      return {1, 2, 4, 8, 16};
+  }
+}
+
+/// Graph scale (log2 vertices): the base is chosen per app so that per-lane
+/// work exceeds the latency floor at the largest default machine; higher
+/// UD_BENCH_SCALE levels grow it further.
+inline std::uint32_t graph_scale(std::uint32_t base) { return base + (scale_level() - 1); }
+
+struct Series {
+  std::string name;
+  std::vector<double> values;  ///< indexed like the node sweep
+};
+
+inline void print_table(const std::string& title, const std::string& row_label,
+                        const std::vector<std::uint32_t>& rows,
+                        const std::vector<Series>& columns) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-8s", row_label.c_str());
+  for (const auto& s : columns) std::printf("  %14s", s.name.c_str());
+  std::printf("\n");
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::printf("%-8u", rows[r]);
+    for (const auto& s : columns) {
+      if (r < s.values.size())
+        std::printf("  %14.2f", s.values[r]);
+      else
+        std::printf("  %14s", "-");
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+inline std::vector<double> speedups(const std::vector<Tick>& durations) {
+  std::vector<double> out;
+  out.reserve(durations.size());
+  for (Tick t : durations)
+    out.push_back(durations.empty() || t == 0
+                      ? 0.0
+                      : static_cast<double>(durations.front()) / static_cast<double>(t));
+  return out;
+}
+
+}  // namespace updown::bench

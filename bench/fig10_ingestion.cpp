@@ -1,0 +1,51 @@
+// Figure 10 + Table 11: Ingestion (TFORM + KVMSR -> Parallel Graph)
+// throughput scaling across machine sizes and dataset multipliers
+// ("data 0.01x" ... "data 2x" in the paper).
+#include <cstdio>
+
+#include "apps/ingestion.hpp"
+#include "bench/bench_util.hpp"
+#include "tform/stream_gen.hpp"
+
+using namespace updown;
+
+int main() {
+  const auto nodes = bench::node_sweep();
+  const std::uint64_t base_records = 2000ull << bench::scale_level();
+
+  struct Mult {
+    std::string name;
+    double factor;
+  };
+  const std::vector<Mult> mults = {
+      {"data 0.1x", 0.1}, {"data 0.5x", 0.5}, {"data", 1.0}, {"data 2x", 2.0}};
+
+  std::printf("Figure 10 / Table 11 reproduction: ingestion throughput scaling\n");
+  std::printf("base dataset: %llu records x 64 B\n", (unsigned long long)base_records);
+
+  std::vector<bench::Series> speedup_cols, rate_cols;
+  for (const auto& mult : mults) {
+    const std::uint64_t n_records =
+        std::max<std::uint64_t>(64, static_cast<std::uint64_t>(base_records * mult.factor));
+    tform::RecordStream s = tform::make_stream(n_records, 4096, 6, 11);
+    std::vector<Tick> durations;
+    bench::Series rate{mult.name, {}};
+    for (std::uint32_t n : nodes) {
+      Machine m(MachineConfig::scaled(n));
+      ingest::App& app = ingest::App::install(m, {});
+      ingest::Result r = app.run(s.bytes);
+      if (r.records != n_records)
+        std::fprintf(stderr, "WARNING: %s lost records at %u nodes\n", mult.name.c_str(), n);
+      durations.push_back(r.duration());
+      rate.values.push_back(r.records_per_second() / 1e9);  // GigaRecords/s
+    }
+    speedup_cols.push_back({mult.name, bench::speedups(durations)});
+    rate_cols.push_back(rate);
+  }
+
+  bench::print_table("Ingestion speedup vs 1 node (Table 11 analog)", "Nodes", nodes,
+                     speedup_cols);
+  bench::print_table("Ingestion GigaRecords/second (x64 B = TB/s x 0.064)", "Nodes", nodes,
+                     rate_cols);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 9 (right) + Table 10: Triangle Counting strong scaling, including
+// the Block-vs-PBMW computation-binding comparison the paper discusses
+// (Section 4.3.3).
+#include <cstdio>
+
+#include "apps/tc.hpp"
+#include "baseline/baseline.hpp"
+#include "bench/bench_util.hpp"
+#include "graph/generators.hpp"
+
+using namespace updown;
+
+int main() {
+  const auto nodes = bench::node_sweep();
+  const std::uint32_t s = bench::graph_scale(12);
+
+  struct Case {
+    std::string name;
+    Graph graph;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"RMAT-s" + std::to_string(s), rmat(s, {.symmetrize = true})});
+  cases.push_back({"social-like", forest_fire(1ull << s)});
+  cases.push_back({"Erdos-Renyi", erdos_renyi(s, 8, 3, true)});
+
+  std::printf("Figure 9 (right) / Table 10 reproduction: TC strong scaling\n");
+
+  std::vector<bench::Series> speedup_cols;
+  for (auto& c : cases) {
+    const std::uint64_t expect = baseline::triangle_count(c.graph);
+    std::vector<Tick> durations;
+    for (std::uint32_t n : nodes) {
+      Machine m(MachineConfig::scaled(n));
+      DeviceGraph dg = upload_graph(m, c.graph);
+      tc::Result r = tc::App::install(m, dg, {}).run();
+      if (r.triangles != expect)
+        std::fprintf(stderr, "WARNING: %s triangle mismatch at %u nodes\n", c.name.c_str(), n);
+      durations.push_back(r.duration());
+    }
+    speedup_cols.push_back({c.name, bench::speedups(durations)});
+    std::printf("  %-14s m=%-9llu triangles=%llu\n", c.name.c_str(),
+                (unsigned long long)c.graph.num_edges(), (unsigned long long)expect);
+  }
+  bench::print_table("TC speedup vs 1 node (Table 10 analog)", "Nodes", nodes, speedup_cols);
+
+  // Ablation: Block vs PBMW map binding (the paper's two TC variants).
+  {
+    Graph g = rmat(s - 1, {.symmetrize = true}, 5);
+    std::vector<bench::Series> binding_cols(2);
+    binding_cols[0].name = "Block";
+    binding_cols[1].name = "PBMW";
+    std::vector<Tick> block_d, pbmw_d;
+    for (std::uint32_t n : nodes) {
+      for (bool pbmw : {false, true}) {
+        Machine m(MachineConfig::scaled(n));
+        DeviceGraph dg = upload_graph(m, g);
+        tc::Options opt;
+        opt.map_binding = pbmw ? kvmsr::MapBinding::kPBMW : kvmsr::MapBinding::kBlock;
+        tc::Result r = tc::App::install(m, dg, opt).run();
+        (pbmw ? pbmw_d : block_d).push_back(r.duration());
+      }
+    }
+    binding_cols[0].values = bench::speedups(block_d);
+    for (Tick t : pbmw_d)  // both columns normalized to 1-node Block
+      binding_cols[1].values.push_back(static_cast<double>(block_d.front()) / t);
+    bench::print_table("TC map-binding ablation (speedup vs 1-node Block)", "Nodes", nodes,
+                       binding_cols);
+  }
+  return 0;
+}

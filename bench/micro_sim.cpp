@@ -1,0 +1,76 @@
+// Host-side microbenchmarks (google-benchmark): how fast the simulator
+// itself runs. These are the knobs that determine how large a machine and
+// dataset one host core can simulate — the Fastsim-vs-Gem5 tradeoff of the
+// paper's methodology section.
+#include <benchmark/benchmark.h>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "kvmsr/kvmsr.hpp"
+#include "mem/global_memory.hpp"
+#include "udweave/context.hpp"
+
+using namespace updown;
+
+static void BM_Translation(benchmark::State& state) {
+  GlobalMemory gm(64);
+  const Addr base = gm.dram_malloc(64ull << 20, 0, 64, 32 * 1024);
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    const Addr a = base + (rng() % (64ull << 20)) / 8 * 8;
+    benchmark::DoNotOptimize(gm.translate(a));
+  }
+}
+BENCHMARK(BM_Translation);
+
+static void BM_Hash64(benchmark::State& state) {
+  std::uint64_t x = 12345;
+  for (auto _ : state) {
+    x = hash64(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Hash64);
+
+namespace {
+struct PingApp {
+  EventLabel ping = 0;
+};
+struct TPing : ThreadState {
+  void ping(Ctx& ctx) {
+    auto& app = ctx.machine().user<PingApp>();
+    if (ctx.op(0) > 0)
+      ctx.send_event(ctx.evw_new((ctx.nwid() + 1) % ctx.machine().config().total_lanes(),
+                                 app.ping),
+                     {ctx.op(0) - 1});
+    ctx.yield_terminate();
+  }
+};
+}  // namespace
+
+/// Simulated-events-per-second of the discrete-event core (message chain).
+static void BM_EventChain(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Machine m(MachineConfig::scaled(4));
+    auto& app = m.emplace_user<PingApp>();
+    app.ping = m.program().event("TPing::ping", &TPing::ping);
+    state.ResumeTiming();
+    m.send_from_host(evw::make_new(0, app.ping), {10000});
+    m.run();
+    benchmark::DoNotOptimize(m.stats().events_executed);
+  }
+  state.SetItemsProcessed(state.iterations() * 10001);
+}
+BENCHMARK(BM_EventChain)->Unit(benchmark::kMillisecond);
+
+static void BM_RmatGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    Graph g = rmat(static_cast<std::uint32_t>(state.range(0)));
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_RmatGeneration)->Arg(10)->Arg(14)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

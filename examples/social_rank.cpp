@@ -1,0 +1,60 @@
+// Example: PageRank on a skewed social-network-like graph.
+//
+// The scenario the paper's introduction motivates: real-world graphs with
+// high skew, processed with full vertex AND edge parallelism. The RMAT graph
+// is vertex-split (max degree 64) so neither side of the hub serializes,
+// then ranked on a 8-node simulated UpDown machine; results are verified
+// against the serial CPU oracle and the top pages printed.
+//
+// Run:  ./social_rank
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "apps/pagerank.hpp"
+#include "baseline/baseline.hpp"
+#include "graph/generators.hpp"
+
+using namespace updown;
+
+int main() {
+  const std::uint32_t scale = 12;
+  Graph g = rmat(scale);
+  std::printf("social graph: %llu vertices, %llu edges, max degree %llu\n",
+              (unsigned long long)g.num_vertices(), (unsigned long long)g.num_edges(),
+              (unsigned long long)g.max_degree());
+
+  SplitGraph sg = split_vertices(g, /*max_degree=*/64);
+  std::printf("after split_and_shuffle: %llu sub-vertices (max degree %llu)\n",
+              (unsigned long long)sg.num_sub(), (unsigned long long)sg.g.max_degree());
+
+  Machine m(MachineConfig::scaled(8));
+  DeviceGraph dg = upload_split_graph(m, sg);
+  pr::Options opt;
+  opt.iterations = 5;
+  pr::Result r = pr::App::install(m, dg, sg, opt).run();
+
+  std::printf("PageRank: %u iterations, %llu edge updates, %.3f ms simulated (%.2f GUPS)\n",
+              r.iterations, (unsigned long long)r.edge_updates, 1e3 * r.seconds(), r.gups());
+
+  // Verify against the CPU oracle.
+  const auto oracle = baseline::pagerank(g, opt.iterations);
+  double max_err = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    max_err = std::max(max_err, std::abs(r.rank[v] - oracle[v]));
+  std::printf("max |simulated - oracle| = %.2e  %s\n", max_err,
+              max_err < 1e-9 ? "(exact to FP tolerance)" : "(MISMATCH)");
+
+  // Top pages.
+  std::vector<VertexId> order(g.num_vertices());
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + 10, order.end(),
+                    [&](VertexId a, VertexId b) { return r.rank[a] > r.rank[b]; });
+  std::printf("top pages:\n");
+  for (int i = 0; i < 10; ++i)
+    std::printf("  #%2d vertex %6llu  rank %.6f  in-hub degree %llu\n", i + 1,
+                (unsigned long long)order[i], r.rank[order[i]],
+                (unsigned long long)g.degree(order[i]));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Example: streaming ingestion + partial pattern matching.
+//
+// The paper's "partial match streaming network application": transaction
+// records stream in, are parsed by TFORM, inserted into the Parallel Graph
+// (two scalable hash tables), and checked incrementally against registered
+// two-hop patterns — e.g. "funds move a -(wire)-> b -(withdrawal)-> c".
+// Alerts fire as soon as a pattern completes; latency is the metric.
+//
+// Run:  ./streaming_alerts
+#include <cstdio>
+
+#include "apps/ingestion.hpp"
+#include "apps/partial_match.hpp"
+#include "tform/stream_gen.hpp"
+
+using namespace updown;
+
+int main() {
+  // Edge types: 1 = wire transfer, 2 = withdrawal, 3 = deposit.
+  tform::RecordStream stream = tform::make_stream(/*n_records=*/800, /*n_vertices=*/96,
+                                                  /*n_types=*/3, /*seed=*/2026);
+
+  // Phase 1: bulk-ingest a historical ledger through TFORM + KVMSR.
+  {
+    Machine m(MachineConfig::scaled(4));
+    ingest::App& app = ingest::App::install(m, {});
+    ingest::Result r = app.run(stream.bytes);
+    std::printf("ingestion: %llu records parsed+inserted in %.3f ms simulated "
+                "(%.2f M records/s; graph: %llu vertices, %llu edges)\n",
+                (unsigned long long)r.records, 1e3 * r.seconds(),
+                r.records_per_second() / 1e6, (unsigned long long)app.graph().num_vertices(),
+                (unsigned long long)app.graph().num_edges());
+  }
+
+  // Phase 2: the same records as a live stream with pattern matching.
+  {
+    Machine m(MachineConfig::scaled(4));
+    pmatch::Options opt;
+    opt.patterns = {{/*wire*/ 1, /*withdrawal*/ 2}, {/*withdrawal*/ 2, /*deposit*/ 3}};
+    pmatch::App& app = pmatch::App::install(m, opt);
+    pmatch::Result r = app.run(stream.records);
+    std::printf("partial match: %llu records streamed, %llu alerts raised\n",
+                (unsigned long long)r.records, (unsigned long long)r.alerts);
+    std::printf("mean record latency: %.0f cycles (%.3f us at 2 GHz)\n",
+                r.mean_latency_cycles(), r.mean_latency_us());
+    std::printf("oracle agrees: %s\n",
+                r.alerts == app.oracle_alerts(stream.records) ? "yes" : "NO");
+  }
+  return 0;
+}

@@ -1,0 +1,165 @@
+#include "abstractions/global_sort.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace updown::gsort {
+
+// Scatter: one map task per 8-word chunk of the input.
+struct SortScatter : kvmsr::MapTask {
+  kvmsr::JobId job = 0;
+  unsigned expected = 0;
+
+  void kv_map(Ctx& ctx) {
+    kvmsr_begin(ctx);
+    auto& gs = ctx.machine().service<GlobalSort>();
+    job = kvmsr::Library::map_job(ctx);
+    const Word chunk = kvmsr::Library::map_key(ctx);
+    const Word off = chunk * 8;
+    expected = static_cast<unsigned>(std::min<Word>(8, gs.n_ - off));
+    ctx.send_dram_read(gs.input_ + off * 8, expected, gs.lb_.sc_loaded);
+  }
+
+  void sc_loaded(Ctx& ctx) {
+    auto& gs = ctx.machine().service<GlobalSort>();
+    for (unsigned i = 0; i < ctx.nops(); ++i) {
+      ctx.charge(2);  // bucket computation
+      gs.lib_->emit(ctx, job, gs.bucket_lane(ctx.op(i)), ctx.op(i));
+    }
+    gs.lib_->map_return(ctx, kvmsr_cont);
+  }
+};
+
+// Reduce: append the value to this lane's bucket region.
+struct SortReduce : ThreadState {
+  kvmsr::JobId job = 0;
+
+  void kv_reduce(Ctx& ctx) {
+    auto& gs = ctx.machine().service<GlobalSort>();
+    job = kvmsr::Library::reduce_job(ctx);
+    const Word value = kvmsr::Library::reduce_val(ctx);
+    std::uint32_t& fill = gs.fill_[ctx.nwid()];
+    if (fill >= gs.cap_)
+      throw std::runtime_error("global_sort: bucket overflow (skewed keys?)");
+    ctx.charge(2);
+    ctx.send_dram_write(gs.bucket_addr(ctx.nwid()) + static_cast<Addr>(fill) * 8, {value},
+                        gs.lb_.r_written);
+    fill++;
+  }
+
+  void r_written(Ctx& ctx) {
+    ctx.machine().service<GlobalSort>().lib_->reduce_return(ctx, job);
+  }
+};
+
+// Local phase: one task per lane; read the bucket, sort, write back.
+struct SortLocal : kvmsr::MapTask {
+  Word lane = 0;
+  std::uint32_t count = 0;
+  Word loaded = 0;
+  unsigned acks = 0, acks_expected = 0;
+  std::vector<Word> values;
+
+  void kv_map(Ctx& ctx) {
+    kvmsr_begin(ctx);
+    auto& gs = ctx.machine().service<GlobalSort>();
+    lane = kvmsr::Library::map_key(ctx);
+    count = gs.fill_[lane];
+    if (count == 0) {
+      gs.lib_->map_return(ctx, kvmsr_cont);
+      return;
+    }
+    values.assign(count, 0);
+    for (Word i = 0; i < count; i += 8) {
+      const unsigned n = static_cast<unsigned>(std::min<Word>(8, count - i));
+      ctx.charge(2);
+      ctx.send_dram_read(gs.bucket_addr(static_cast<NetworkId>(lane)) + i * 8, n,
+                         gs.lb_.ls_loaded);
+    }
+  }
+
+  void ls_loaded(Ctx& ctx) {
+    auto& gs = ctx.machine().service<GlobalSort>();
+    const Word base = (ctx.ccont() - gs.bucket_addr(static_cast<NetworkId>(lane))) / 8;
+    for (unsigned i = 0; i < ctx.nops(); ++i) values[base + i] = ctx.op(i);
+    loaded += ctx.nops();
+    if (loaded < count) return;
+
+    std::sort(values.begin(), values.end());
+    // n log n comparison cost for the lane-local sort.
+    ctx.charge(static_cast<std::uint64_t>(count) *
+               (std::bit_width(static_cast<std::uint64_t>(count)) + 1));
+    acks_expected = static_cast<unsigned>(ceil_div(count, 8));
+    for (Word i = 0; i < count; i += 8) {
+      const unsigned n = static_cast<unsigned>(std::min<Word>(8, count - i));
+      ctx.send_dram_writev(gs.bucket_addr(static_cast<NetworkId>(lane)) + i * 8,
+                           values.data() + i, n,
+                           ctx.evw_update_event(ctx.cevnt(), gs.lb_.ls_written));
+    }
+  }
+
+  void ls_written(Ctx& ctx) {
+    if (++acks == acks_expected)
+      ctx.machine().service<GlobalSort>().lib_->map_return(ctx, kvmsr_cont);
+  }
+};
+
+GlobalSort& GlobalSort::install(Machine& m) {
+  if (m.has_service<GlobalSort>()) return m.service<GlobalSort>();
+  return m.add_service<GlobalSort>(m);
+}
+
+GlobalSort::GlobalSort(Machine& m) : m_(m) {
+  lib_ = &kvmsr::Library::install(m);
+  Program& p = m.program();
+  lb_.sc_loaded = p.event("gsort::sc_loaded", &SortScatter::sc_loaded);
+  lb_.r_written = p.event("gsort::r_written", &SortReduce::r_written);
+  lb_.ls_loaded = p.event("gsort::ls_loaded", &SortLocal::ls_loaded);
+  lb_.ls_written = p.event("gsort::ls_written", &SortLocal::ls_written);
+
+  kvmsr::JobSpec scatter;
+  scatter.kv_map = p.event("gsort::kv_map", &SortScatter::kv_map);
+  scatter.kv_reduce = p.event("gsort::kv_reduce", &SortReduce::kv_reduce);
+  // The emit key IS the destination lane: identity binding.
+  scatter.reduce_binding = [](Word key, NetworkId first, std::uint32_t count) {
+    return first + static_cast<NetworkId>(key % count);
+  };
+  scatter.name = "gsort.scatter";
+  scatter_job_ = lib_->add_job(scatter);
+
+  local_sort_job_ = kvmsr::do_all(*lib_, p.event("gsort::local", &SortLocal::kv_map));
+  lib_->spec(local_sort_job_).name = "gsort.local";
+}
+
+Result GlobalSort::sort(Addr input, std::uint64_t n, unsigned key_bits) {
+  input_ = input;
+  n_ = n;
+  lanes_ = m_.config().total_lanes();
+  const unsigned lane_bits = log2_exact(next_pow2(lanes_));
+  shift_ = key_bits > lane_bits ? key_bits - lane_bits : 0;
+  cap_ = std::max<std::uint64_t>(64, next_pow2(8 * n / lanes_ + 8));
+  const std::uint64_t total = lanes_ * cap_ * 8;
+  if (region_ == 0) region_ = m_.memory().dram_malloc_spread(total);
+  fill_.assign(lanes_, 0);
+
+  const kvmsr::JobState& st = lib_->run_to_completion(scatter_job_, 0, ceil_div(n, 8));
+  const Tick t0 = st.start_tick;
+  const kvmsr::JobState& st2 = lib_->run_to_completion(local_sort_job_, 0, lanes_);
+  Result r;
+  r.start_tick = t0;
+  r.done_tick = st2.done_tick;
+  return r;
+}
+
+std::vector<Word> GlobalSort::host_read_sorted() const {
+  std::vector<Word> out;
+  out.reserve(n_);
+  for (std::uint64_t l = 0; l < lanes_; ++l)
+    for (std::uint32_t i = 0; i < fill_[l]; ++i)
+      out.push_back(m_.memory().host_load<Word>(bucket_addr(static_cast<NetworkId>(l)) + i * 8));
+  return out;
+}
+
+}  // namespace updown::gsort

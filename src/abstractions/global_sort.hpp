@@ -1,0 +1,66 @@
+// Scalable Global Sort (paper Table 5) — also the "Bucket Sort" application
+// of Table 3 ("N / Y : kvmap" — KVMSR only).
+//
+// A distributed bucket sort: a KVMSR scatter job emits each value to the
+// lane owning its key range (top bits of the value), reducers append into
+// lane-local bucket regions, and a map-only pass sorts each bucket in place.
+// Concatenating buckets in lane order yields the sorted sequence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kvmsr/kvmsr.hpp"
+
+namespace updown::gsort {
+
+struct Result {
+  Tick start_tick = 0;
+  Tick done_tick = 0;
+  Tick duration() const { return done_tick - start_tick; }
+};
+
+class GlobalSort {
+ public:
+  static GlobalSort& install(Machine& m);
+  GlobalSort(Machine& m);
+
+  /// Sort `n` words starting at device address `input` whose values are
+  /// below 2^key_bits. Runs the machine to completion (host-driven).
+  Result sort(Addr input, std::uint64_t n, unsigned key_bits = 64);
+
+  /// Read back the sorted sequence (bucket-major) after sort().
+  std::vector<Word> host_read_sorted() const;
+
+ private:
+  friend struct SortScatter;
+  friend struct SortReduce;
+  friend struct SortLocal;
+
+  NetworkId bucket_lane(Word value) const {
+    return static_cast<NetworkId>(shift_ >= 64 ? 0 : (value >> shift_)) %
+           static_cast<NetworkId>(lanes_);
+  }
+  Addr bucket_addr(NetworkId lane) const { return region_ + static_cast<Addr>(lane) * cap_ * 8; }
+
+  Machine& m_;
+  kvmsr::Library* lib_;
+  Addr input_ = 0;
+  std::uint64_t n_ = 0;
+  unsigned shift_ = 0;
+  std::uint64_t lanes_ = 0;
+  Addr region_ = 0;
+  std::uint64_t cap_ = 0;
+  std::vector<std::uint32_t> fill_;  ///< per-lane bucket fill (scratchpad)
+
+  kvmsr::JobId scatter_job_ = 0;
+  kvmsr::JobId local_sort_job_ = 0;
+  struct Labels {
+    EventLabel sc_loaded = 0;
+    EventLabel r_written = 0;
+    EventLabel ls_loaded = 0;
+    EventLabel ls_written = 0;
+  } lb_;
+};
+
+}  // namespace updown::gsort

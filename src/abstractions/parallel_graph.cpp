@@ -1,0 +1,66 @@
+#include "abstractions/parallel_graph.hpp"
+
+namespace updown::pgraph {
+
+// Coordinator for one insert_edge: fans out the edge-table insert and the
+// two vertex-degree upserts, collects the three acknowledgements, then
+// replies to the caller.
+struct PgEdgeOp : ThreadState {
+  Word reply_cont = IGNRCONT;
+  unsigned pending = 3;
+
+  void start(Ctx& ctx) {  // ops: {src, dst, type}
+    auto& pg = ctx.machine().service<ParallelGraph>();
+    reply_cont = ctx.ccont();
+    const Word src = ctx.op(0), dst = ctx.op(1), type = ctx.op(2);
+    const Word part = ctx.evw_update_event(ctx.cevnt(), pg.edge_part_done_);
+    ctx.charge(2);
+    pg.sht_->insert(ctx, pg.edges_, edge_key(src, dst), type, part);
+    pg.sht_->upsert_add(ctx, pg.vertices_, src, 1, part);
+    pg.sht_->upsert_add(ctx, pg.vertices_, dst, 0, part);  // touch dst, out-degree 0
+  }
+
+  void part_done(Ctx& ctx) {
+    if (--pending == 0) {
+      if (reply_cont != IGNRCONT) ctx.send_event(reply_cont, {});
+      ctx.yield_terminate();
+    }
+  }
+};
+
+ParallelGraph& ParallelGraph::install(Machine& m, const Config& cfg) {
+  if (m.has_service<ParallelGraph>()) return m.service<ParallelGraph>();
+  return m.add_service<ParallelGraph>(m, cfg);
+}
+
+ParallelGraph::ParallelGraph(Machine& m, const Config& cfg) : m_(m) {
+  sht_ = &sht::Registry::install(m);
+  sht::TableConfig v = cfg.vertex;
+  v.name = "pga.vertices";
+  sht::TableConfig e = cfg.edge;
+  e.name = "pga.edges";
+  vertices_ = sht_->create(v);
+  edges_ = sht_->create(e);
+  edge_op_ = m.program().event("pgraph::edge_op", &PgEdgeOp::start);
+  edge_part_done_ = m.program().event("pgraph::edge_part_done", &PgEdgeOp::part_done);
+}
+
+void ParallelGraph::insert_edge(Ctx& ctx, Word src, Word dst, Word type, Word cont) {
+  // Run the coordinator on the calling lane: its fan-out messages are what
+  // cross the machine.
+  ctx.send_event(evw::make_new(ctx.nwid(), edge_op_), {src, dst, type}, cont);
+}
+
+void ParallelGraph::insert_vertex(Ctx& ctx, Word vid, Word cont) {
+  sht_->upsert_add(ctx, vertices_, vid, 0, cont);
+}
+
+bool ParallelGraph::host_has_edge(Word src, Word dst, Word* type) const {
+  return sht_->host_lookup(edges_, edge_key(src, dst), type);
+}
+
+bool ParallelGraph::host_has_vertex(Word vid, Word* degree) const {
+  return sht_->host_lookup(vertices_, vid, degree);
+}
+
+}  // namespace updown::pgraph

@@ -1,0 +1,51 @@
+// Parallel Graph abstraction — "Uses two SHT's" (paper Table 5).
+//
+// A streaming graph built from two scalable hash tables: a vertex table
+// (vid -> degree counter, auto-created on first touch) and an edge table
+// (packed <src,dst> -> edge type). insert_edge is a three-way composition —
+// edge insert plus two vertex upserts — coordinated by a per-op thread that
+// replies to the caller once all parts are durable. This is the structure
+// the ingestion workflow (WF2 K1) streams records into.
+#pragma once
+
+#include "abstractions/sht.hpp"
+
+namespace updown::pgraph {
+
+struct Config {
+  sht::TableConfig vertex;  ///< NUM_PGA lanes / VERTEX_EB / VERTEX_BL knobs
+  sht::TableConfig edge;
+};
+
+constexpr Word edge_key(Word src, Word dst) { return (src << 32) | (dst & 0xFFFFFFFFull); }
+
+class ParallelGraph {
+ public:
+  static ParallelGraph& install(Machine& m, const Config& cfg = {});
+  ParallelGraph(Machine& m, const Config& cfg);
+
+  // ---- Device-side operations (reply {} to cont when durable) ---------------
+  void insert_edge(Ctx& ctx, Word src, Word dst, Word type, Word cont);
+  void insert_vertex(Ctx& ctx, Word vid, Word cont);
+
+  // ---- Host-side verification -------------------------------------------------
+  bool host_has_edge(Word src, Word dst, Word* type = nullptr) const;
+  bool host_has_vertex(Word vid, Word* degree = nullptr) const;
+  std::uint64_t num_edges() const { return sht_->size(edges_); }
+  std::uint64_t num_vertices() const { return sht_->size(vertices_); }
+
+  sht::TableId vertex_table() const { return vertices_; }
+  sht::TableId edge_table() const { return edges_; }
+
+ private:
+  friend struct PgEdgeOp;
+
+  Machine& m_;
+  sht::Registry* sht_;
+  sht::TableId vertices_ = 0;
+  sht::TableId edges_ = 0;
+  EventLabel edge_op_ = 0;
+  EventLabel edge_part_done_ = 0;
+};
+
+}  // namespace updown::pgraph

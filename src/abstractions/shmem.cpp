@@ -1,0 +1,68 @@
+#include "abstractions/shmem.hpp"
+
+#include <stdexcept>
+
+namespace updown::shmem {
+
+// Coordinator-side arrival: one short-lived thread per arriving member,
+// mutating the team state that lives on the coordinator lane.
+struct ShmemCoord : ThreadState {
+  void arrive(Ctx& ctx) {  // ops: {team, value}
+    auto& sh = ctx.machine().service<Shmem>();
+    auto& team = sh.teams_.at(static_cast<TeamId>(ctx.op(0)));
+    ctx.charge(3);  // scratchpad team-state update
+    team.sum += ctx.op(1);
+    if (ctx.ccont() != IGNRCONT) team.waiting.push_back(ctx.ccont());
+    if (++team.arrived == team.count) {
+      const Word sum = team.sum;
+      for (Word cont : team.waiting) {
+        ctx.charge(1);
+        ctx.send_event(cont, {sum});
+      }
+      team.arrived = 0;
+      team.sum = 0;
+      team.waiting.clear();
+    }
+    ctx.yield_terminate();
+  }
+};
+
+Shmem& Shmem::install(Machine& m) {
+  if (m.has_service<Shmem>()) return m.service<Shmem>();
+  return m.add_service<Shmem>(m);
+}
+
+Shmem::Shmem(Machine& m) : m_(m) {
+  coord_arrive_ = m.program().event("shmem::arrive", &ShmemCoord::arrive);
+}
+
+TeamId Shmem::create_team(NetworkId coordinator, std::uint32_t count) {
+  if (count == 0) throw std::invalid_argument("shmem: empty team");
+  Team t;
+  t.coordinator = coordinator;
+  t.count = count;
+  teams_.push_back(std::move(t));
+  return static_cast<TeamId>(teams_.size() - 1);
+}
+
+void Shmem::put(Ctx& ctx, Addr addr, Word value, Word cont) {
+  // Third-party composition: the DRAM acknowledgement goes straight to the
+  // caller-chosen continuation — no intermediary thread.
+  ctx.send_dram_writev(addr, &value, 1, cont, addr);
+}
+
+void Shmem::get(Ctx& ctx, Addr addr, Word cont) {
+  ctx.send_dram_read_to(addr, 1, cont, addr);
+}
+
+void Shmem::barrier_arrive(Ctx& ctx, TeamId team, Word cont) {
+  const Team& t = teams_.at(team);
+  ctx.send_event(evw::make_new(t.coordinator, coord_arrive_), {team, 0}, cont);
+}
+
+void Shmem::all_reduce_add(Ctx& ctx, TeamId team, Word value, Word cont) {
+  const Team& t = teams_.at(team);
+  ctx.send_event(evw::make_new(t.coordinator, coord_arrive_), {team, value}, cont);
+}
+
+}  // namespace updown::shmem

@@ -1,0 +1,61 @@
+// SHMEM library (paper Table 5: "SHMEM (put/get, reductions)", after [38]).
+//
+// Thin one-sided operations over the global address space plus team
+// synchronization:
+//   put/get     — remote global-memory writes/reads with completion events
+//   barrier     — team barrier through a coordinator lane
+//   all_reduce  — sum-reduction across a team, result broadcast to all
+//
+// Teams are registered host-side; arrival state lives on the coordinator
+// lane (scratchpad-modeled, charged).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "udweave/context.hpp"
+
+namespace updown::shmem {
+
+using TeamId = std::uint32_t;
+
+class Shmem {
+ public:
+  static Shmem& install(Machine& m);
+  explicit Shmem(Machine& m);
+
+  /// Register a team of `count` participants coordinated at `coordinator`.
+  TeamId create_team(NetworkId coordinator, std::uint32_t count);
+
+  // ---- One-sided data movement (device side) --------------------------------
+  /// Write `value` to global address `addr`; `cont` receives {} when durable.
+  void put(Ctx& ctx, Addr addr, Word value, Word cont);
+  /// Read the word at `addr`; `cont` receives {value}.
+  void get(Ctx& ctx, Addr addr, Word cont);
+
+  // ---- Collectives -------------------------------------------------------------
+  /// Arrive at the team barrier; `cont` receives {} when all have arrived.
+  void barrier_arrive(Ctx& ctx, TeamId team, Word cont);
+  /// Contribute `value` to the team sum; `cont` receives {sum} when complete.
+  void all_reduce_add(Ctx& ctx, TeamId team, Word value, Word cont);
+
+ private:
+  friend struct ShmemCoord;
+  friend struct ShmemMover;
+
+  struct Team {
+    NetworkId coordinator = 0;
+    std::uint32_t count = 0;
+    std::uint32_t arrived = 0;
+    Word sum = 0;
+    std::vector<Word> waiting;  ///< continuations released on completion
+  };
+
+  Machine& m_;
+  std::vector<Team> teams_;
+  EventLabel coord_arrive_ = 0;
+  EventLabel mv_put_ = 0, mv_get_ = 0, mv_put_done_ = 0, mv_get_done_ = 0;
+};
+
+}  // namespace updown::shmem

@@ -1,0 +1,184 @@
+#include "abstractions/sht.hpp"
+
+#include <algorithm>
+
+namespace updown::sht {
+
+// One owner-side thread per operation; created by the op message arriving at
+// the key's owner lane, retired when the reply is sent.
+struct ShtOwner : ThreadState {
+  Word reply_cont = IGNRCONT;
+  Word status = 0;
+  Word value = 0;
+
+  void i_start(Ctx& ctx) {  // ops: {table, key, value}
+    auto& reg = ctx.machine().service<Registry>();
+    reply_cont = ctx.ccont();
+    reg.owner_insert(ctx, *this, static_cast<TableId>(ctx.op(0)), ctx.op(1), ctx.op(2),
+                     /*arithmetic=*/false);
+  }
+
+  void u_start(Ctx& ctx) {  // ops: {table, key, delta}
+    auto& reg = ctx.machine().service<Registry>();
+    reply_cont = ctx.ccont();
+    reg.owner_insert(ctx, *this, static_cast<TableId>(ctx.op(0)), ctx.op(1), ctx.op(2),
+                     /*arithmetic=*/true);
+  }
+
+  void l_start(Ctx& ctx) {  // ops: {table, key}
+    auto& reg = ctx.machine().service<Registry>();
+    reply_cont = ctx.ccont();
+    reg.owner_lookup(ctx, *this, static_cast<TableId>(ctx.op(0)), ctx.op(1));
+  }
+
+  void ow_written(Ctx& ctx) {
+    if (reply_cont != IGNRCONT) ctx.send_event(reply_cont, {status, value});
+    ctx.yield_terminate();
+  }
+
+  void ow_loaded(Ctx& ctx) {
+    // DRAM entry: [key, value]; a lookup read returns both words.
+    ctx.charge(1);
+    if (reply_cont != IGNRCONT) ctx.send_event(reply_cont, {1, ctx.op(1)});
+    ctx.yield_terminate();
+  }
+};
+
+Registry& Registry::install(Machine& m) {
+  if (m.has_service<Registry>()) return m.service<Registry>();
+  return m.add_service<Registry>(m);
+}
+
+Registry::Registry(Machine& m) : m_(m) {
+  Program& p = m.program();
+  op_insert_ = p.event("sht::insert", &ShtOwner::i_start);
+  op_upsert_ = p.event("sht::upsert", &ShtOwner::u_start);
+  op_lookup_ = p.event("sht::lookup", &ShtOwner::l_start);
+  ow_written_ = p.event("sht::ow_written", &ShtOwner::ow_written);
+  ow_loaded_ = p.event("sht::ow_loaded", &ShtOwner::ow_loaded);
+}
+
+TableId Registry::create(const TableConfig& cfg) {
+  Table t;
+  t.cfg = cfg;
+  t.first_lane = cfg.lanes.first;
+  t.lane_count = cfg.lanes.count ? cfg.lanes.count
+                                 : static_cast<std::uint32_t>(m_.config().total_lanes());
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(t.lane_count) * cfg.buckets_per_lane *
+      cfg.entries_per_bucket * 16;
+  // Node-local bucket placement when the table spans the whole machine (the
+  // common case); otherwise spread.
+  if (t.first_lane == 0 && t.lane_count == m_.config().total_lanes() &&
+      is_pow2(total / m_.config().nodes))
+    t.base = m_.memory().dram_malloc(total, 0, m_.config().nodes, total / m_.config().nodes);
+  else
+    t.base = m_.memory().dram_malloc_spread(total);
+  t.index.assign(t.lane_count, {});
+  t.fill.assign(t.lane_count, std::vector<std::uint16_t>(cfg.buckets_per_lane, 0));
+  tables_.push_back(std::move(t));
+  return static_cast<TableId>(tables_.size() - 1);
+}
+
+NetworkId Registry::owner_lane(TableId table, Word key) const {
+  const Table& t = tables_.at(table);
+  return t.first_lane + static_cast<NetworkId>(hash64(key) % t.lane_count);
+}
+
+void Registry::insert(Ctx& ctx, TableId table, Word key, Word value, Word cont) {
+  ctx.charge(1);
+  ctx.send_event(evw::make_new(owner_lane(table, key), op_insert_), {table, key, value}, cont);
+}
+
+void Registry::upsert_add(Ctx& ctx, TableId table, Word key, Word delta, Word cont) {
+  ctx.charge(1);
+  ctx.send_event(evw::make_new(owner_lane(table, key), op_upsert_), {table, key, delta}, cont);
+}
+
+void Registry::lookup(Ctx& ctx, TableId table, Word key, Word cont) {
+  ctx.charge(1);
+  ctx.send_event(evw::make_new(owner_lane(table, key), op_lookup_), {table, key}, cont);
+}
+
+void Registry::owner_insert(Ctx& ctx, ShtOwner& op, TableId table, Word key, Word value,
+                            bool arithmetic) {
+  Table& t = tables_.at(table);
+  const std::uint32_t lane_idx = ctx.nwid() - t.first_lane;
+  auto& index = t.index[lane_idx];
+  ctx.charge(3);  // scratchpad index probe
+
+  auto it = index.find(key);
+  if (it != index.end()) {
+    // The index caches the value (scratchpad), so arithmetic updates are
+    // atomic within this event; the DRAM copy is written back asynchronously.
+    Slot& slot = it->second;
+    slot.value = arithmetic ? slot.value + value : value;
+    op.status = kUpdated;
+    op.value = slot.value;
+    ctx.charge(2);
+    // Write-back is fire-and-forget: the lane-resident cache is authoritative
+    // and same-source/same-destination DRAM traffic stays ordered, so a later
+    // lookup's read cannot pass this write.
+    ctx.send_dram_write(slot.addr + 8, {slot.value});
+    if (op.reply_cont != IGNRCONT) ctx.send_event(op.reply_cont, {op.status, op.value});
+    ctx.yield_terminate();
+    return;
+  }
+
+  // New key: claim a slot with bounded linear probing over buckets.
+  const std::uint64_t nbuckets = t.cfg.buckets_per_lane;
+  std::uint64_t bucket = (hash64(key) >> 24) % nbuckets;
+  for (unsigned probe = 0; probe < 4; ++probe, bucket = (bucket + 1) % nbuckets) {
+    ctx.charge(1);
+    if (t.fill[lane_idx][bucket] < t.cfg.entries_per_bucket) {
+      const Addr addr = bucket_addr(t, lane_idx, bucket) +
+                        static_cast<Addr>(t.fill[lane_idx][bucket]) * 16;
+      t.fill[lane_idx][bucket]++;
+      index.emplace(key, Slot{addr, value});
+      t.entries++;
+      op.status = kInserted;
+      op.value = value;
+      const Word entry[2] = {key, value};
+      ctx.charge(2);
+      ctx.send_dram_writev(addr, entry, 2, ctx.evw_update_event(ctx.cevnt(), ow_written_));
+      return;
+    }
+  }
+  op.status = kFull;
+  op.value = 0;
+  if (op.reply_cont != IGNRCONT) ctx.send_event(op.reply_cont, {op.status, op.value});
+  ctx.yield_terminate();
+}
+
+void Registry::owner_lookup(Ctx& ctx, ShtOwner& op, TableId table, Word key) {
+  Table& t = tables_.at(table);
+  const std::uint32_t lane_idx = ctx.nwid() - t.first_lane;
+  ctx.charge(3);
+  auto it = t.index[lane_idx].find(key);
+  if (it == t.index[lane_idx].end()) {
+    if (op.reply_cont != IGNRCONT) ctx.send_event(op.reply_cont, {0, 0});
+    ctx.yield_terminate();
+    return;
+  }
+  ctx.send_dram_read(it->second.addr, 2, ow_loaded_);
+}
+
+bool Registry::host_lookup(TableId table, Word key, Word* value_out) const {
+  const Table& t = tables_.at(table);
+  const std::uint32_t lane_idx =
+      static_cast<std::uint32_t>(hash64(key) % t.lane_count);
+  auto it = t.index[lane_idx].find(key);
+  if (it == t.index[lane_idx].end()) return false;
+  if (value_out) *value_out = m_.memory().host_load<Word>(it->second.addr + 8);
+  return true;
+}
+
+std::uint64_t Registry::size(TableId table) const { return tables_.at(table).entries; }
+
+std::uint64_t Registry::capacity(TableId table) const {
+  const Table& t = tables_.at(table);
+  return static_cast<std::uint64_t>(t.lane_count) * t.cfg.buckets_per_lane *
+         t.cfg.entries_per_bucket;
+}
+
+}  // namespace updown::sht

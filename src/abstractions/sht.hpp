@@ -1,0 +1,106 @@
+// Scalable Hash Table (SHT) — the paper's key data abstraction (Table 5,
+// used by the Parallel Graph abstraction, ingestion, and Partial Match).
+//
+// Keys hash to an owner lane; each lane owns a region of fixed-size buckets
+// in global memory, placed node-locally so an owner's probes are local DRAM
+// accesses. Lane event atomicity serializes all mutations of a lane's
+// buckets — the "fine-grained locking" of the paper costs nothing beyond
+// message routing. A lane-resident index (scratchpad-modeled, charged per
+// access) locates a key's slot without probing DRAM; entry payloads live in
+// DRAM and all data movement is simulated.
+//
+// Device API (from any event):
+//   insert(ctx, table, key, value, cont)  -> reply {status, value}
+//       status: 1 inserted new, 2 overwrote existing, 0 table full
+//   upsert_add(ctx, table, key, delta, cont) -> reply {status, new_value}
+//       arithmetic update (creates the key with value=delta if absent)
+//   lookup(ctx, table, key, cont)         -> reply {found, value}
+//
+// Multiple tables share the registry service; ops carry the table id.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "kvmsr/kvmsr.hpp"
+#include "sim/machine.hpp"
+#include "udweave/context.hpp"
+
+namespace updown::sht {
+
+struct ShtOwner;
+
+using TableId = std::uint32_t;
+
+constexpr Word kFull = 0;
+constexpr Word kInserted = 1;
+constexpr Word kUpdated = 2;
+
+struct TableConfig {
+  std::uint64_t buckets_per_lane = 256;   ///< paper Listing 14's *_BL knob
+  std::uint64_t entries_per_bucket = 16;  ///< paper Listing 14's *_EB knob
+  kvmsr::LaneSet lanes;                   ///< owner lanes (0 count = whole machine)
+  std::string name = "sht";
+};
+
+class Registry {
+ public:
+  static Registry& install(Machine& m);
+  explicit Registry(Machine& m);
+
+  /// Create a table; allocates its bucket regions node-locally.
+  TableId create(const TableConfig& cfg);
+
+  // ---- Device-side operations ------------------------------------------------
+  void insert(Ctx& ctx, TableId table, Word key, Word value, Word cont);
+  void upsert_add(Ctx& ctx, TableId table, Word key, Word delta, Word cont);
+  void lookup(Ctx& ctx, TableId table, Word key, Word cont);
+
+  // ---- Host-side verification ---------------------------------------------------
+  /// Read a key's value straight from simulated memory (test/debug only).
+  bool host_lookup(TableId table, Word key, Word* value_out = nullptr) const;
+  std::uint64_t size(TableId table) const;
+  std::uint64_t capacity(TableId table) const;
+
+  NetworkId owner_lane(TableId table, Word key) const;
+
+ private:
+  friend struct ShtOwner;
+
+  struct Slot {
+    Addr addr = 0;   ///< DRAM entry address ({key, value} pair)
+    Word value = 0;  ///< lane-cached value (authoritative on the owner lane)
+  };
+
+  struct Table {
+    TableConfig cfg;
+    NetworkId first_lane = 0;
+    std::uint32_t lane_count = 0;
+    Addr base = 0;               ///< bucket storage: 16B entries
+    std::uint64_t entries = 0;   ///< current size (all lanes)
+    /// Lane-resident slot index: per lane, key -> slot. Models the
+    /// scratchpad bucket index; every access is charged.
+    std::vector<std::unordered_map<Word, Slot>> index;
+    /// Per (lane, bucket) fill counts.
+    std::vector<std::vector<std::uint16_t>> fill;
+  };
+
+  void owner_insert(Ctx& ctx, ShtOwner& op, TableId table, Word key, Word value,
+                    bool arithmetic);
+  void owner_lookup(Ctx& ctx, ShtOwner& op, TableId table, Word key);
+
+  Addr bucket_addr(const Table& t, std::uint32_t lane_idx, std::uint64_t bucket) const {
+    const std::uint64_t epb = t.cfg.entries_per_bucket;
+    return t.base + ((static_cast<std::uint64_t>(lane_idx) * t.cfg.buckets_per_lane + bucket) *
+                     epb) *
+                        16;
+  }
+
+  Machine& m_;
+  std::vector<Table> tables_;
+  EventLabel op_insert_ = 0, op_upsert_ = 0, op_lookup_ = 0;
+  EventLabel ow_written_ = 0, ow_loaded_ = 0;
+};
+
+}  // namespace updown::sht

@@ -1,0 +1,65 @@
+#include "apps/exact_match.hpp"
+
+#include <numeric>
+
+namespace updown::ematch {
+
+struct EmQuery : kvmsr::MapTask {
+  Word type = 0;
+
+  void kv_map(Ctx& ctx) {
+    kvmsr_begin(ctx);
+    auto& app = ctx.machine().user<App>();
+    const auto& q = (*app.queries_)[kvmsr::Library::map_key(ctx)];
+    type = q.type;
+    ctx.charge(2);
+    // SHT lookup on the edge table; the reply comes back to q_looked.
+    ctx.machine().service<sht::Registry>().lookup(
+        ctx, app.pg_->edge_table(), pgraph::edge_key(q.src, q.dst),
+        ctx.evw_update_event(ctx.cevnt(), app.q_looked_));
+  }
+
+  void q_looked(Ctx& ctx) {
+    auto& app = ctx.machine().user<App>();
+    if (ctx.op(0) != 0 && ctx.op(1) == type) {
+      ctx.charge(1);  // scratchpad match counter
+      app.matches_by_lane_[ctx.nwid()]++;
+    }
+    app.lib_->map_return(ctx, kvmsr_cont);
+  }
+};
+
+App& App::install(Machine& m) { return m.emplace_user<App>(m); }
+
+App::App(Machine& m) : m_(m) {
+  lib_ = &kvmsr::Library::install(m);
+  pg_ = &m.service<pgraph::ParallelGraph>();
+  matches_by_lane_.assign(m.config().total_lanes(), 0);
+  Program& p = m.program();
+  q_looked_ = p.event("ematch::q_looked", &EmQuery::q_looked);
+  job_ = kvmsr::do_all(*lib_, p.event("ematch::kv_map", &EmQuery::kv_map));
+  lib_->spec(job_).name = "exact_match";
+}
+
+Result App::run(const std::vector<tform::EdgeRecord>& queries) {
+  queries_ = &queries;
+  std::fill(matches_by_lane_.begin(), matches_by_lane_.end(), 0);
+  const kvmsr::JobState& st = lib_->run_to_completion(job_, 0, queries.size());
+  Result r;
+  r.queries = queries.size();
+  r.matches = std::accumulate(matches_by_lane_.begin(), matches_by_lane_.end(), 0ull);
+  r.start_tick = st.start_tick;
+  r.done_tick = st.done_tick;
+  return r;
+}
+
+std::uint64_t App::oracle_matches(const std::vector<tform::EdgeRecord>& queries) const {
+  std::uint64_t n = 0;
+  for (const auto& q : queries) {
+    Word type = 0;
+    if (pg_->host_has_edge(q.src, q.dst, &type) && type == q.type) ++n;
+  }
+  return n;
+}
+
+}  // namespace updown::ematch

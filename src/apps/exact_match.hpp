@@ -1,0 +1,50 @@
+// Exact Match (paper Table 3: "Exact Match — doAll using kvmap"; AGILE WF2).
+//
+// Given a batch of query triples <src, dst, type>, check each against the
+// ingested Parallel Graph: a do_all-style KVMSR maps one task per query; the
+// task looks the edge up in the edge SHT and tests the type. Matches
+// accumulate in per-lane counters; the host reads the total after the run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "abstractions/parallel_graph.hpp"
+#include "kvmsr/kvmsr.hpp"
+#include "tform/stream_gen.hpp"
+
+namespace updown::ematch {
+
+struct Result {
+  std::uint64_t queries = 0;
+  std::uint64_t matches = 0;
+  Tick start_tick = 0;
+  Tick done_tick = 0;
+  Tick duration() const { return done_tick - start_tick; }
+};
+
+class App {
+ public:
+  /// The graph must already be installed (e.g. by an ingestion run).
+  static App& install(Machine& m);
+  explicit App(Machine& m);
+
+  /// Run the query batch to completion (host-driven do_all over queries).
+  Result run(const std::vector<tform::EdgeRecord>& queries);
+
+  /// Host-side oracle.
+  std::uint64_t oracle_matches(const std::vector<tform::EdgeRecord>& queries) const;
+
+ private:
+  friend struct EmQuery;
+
+  Machine& m_;
+  kvmsr::Library* lib_;
+  pgraph::ParallelGraph* pg_;
+  kvmsr::JobId job_ = 0;
+  EventLabel q_looked_ = 0;
+  const std::vector<tform::EdgeRecord>* queries_ = nullptr;
+  std::vector<std::uint64_t> matches_by_lane_;  ///< scratchpad counters
+};
+
+}  // namespace updown::ematch

@@ -1,0 +1,134 @@
+#include "apps/ingestion.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "tform/stream_gen.hpp"
+
+namespace updown::ingest {
+
+// One kv_map task per block: fetch [block_start, block_end + one record) from
+// DRAM, find the first record boundary, run the transducer over every record
+// starting in the block, emit a tuple per record.
+struct IngestMap : kvmsr::MapTask {
+  kvmsr::JobId job = 0;
+  std::uint64_t start = 0, end = 0;          // byte range owned by this block
+  std::uint64_t read_begin = 0, read_end = 0;  // fetched byte range (8-aligned)
+  std::vector<std::uint8_t> buf;
+  std::uint64_t arrived = 0, expected = 0;
+
+  void kv_map(Ctx& ctx) {
+    kvmsr_begin(ctx);
+    auto& app = ctx.machine().user<App>();
+    job = kvmsr::Library::map_job(ctx);
+    const Word block = kvmsr::Library::map_key(ctx);
+    start = block * app.opt_.block_bytes;
+    end = std::min(start + app.opt_.block_bytes, app.data_bytes_);
+    // Fetch one byte before the block (record-boundary test) and up to one
+    // full record past it (boundary-spanning records).
+    read_begin = (start == 0 ? 0 : (start - 1)) & ~7ull;
+    read_end = std::min((end + tform::kRecordBytes + 7) & ~7ull, (app.data_bytes_ + 7) & ~7ull);
+    buf.assign(read_end - read_begin, 0);
+    for (std::uint64_t off = read_begin; off < read_end; off += 64) {
+      const unsigned words =
+          static_cast<unsigned>(std::min<std::uint64_t>(8, (read_end - off) / 8));
+      ctx.charge(2);
+      ctx.send_dram_read(app.data_base_ + off, words, app.lb_.m_chunk);
+      ++expected;
+    }
+  }
+
+  void m_chunk(Ctx& ctx) {
+    auto& app = ctx.machine().user<App>();
+    const std::uint64_t off = ctx.ccont() - app.data_base_ - read_begin;
+    for (unsigned i = 0; i < ctx.nops(); ++i) {
+      const Word w = ctx.op(i);
+      std::memcpy(buf.data() + off + i * 8, &w, 8);
+    }
+    ctx.charge(ctx.nops());
+    if (++arrived == expected) parse(ctx);
+  }
+
+ private:
+  std::uint8_t byte_at(std::uint64_t file_off) const { return buf[file_off - read_begin]; }
+
+  void parse(Ctx& ctx) {
+    auto& app = ctx.machine().user<App>();
+    // A record belongs to the block where it starts. Skip to the first
+    // record boundary at or after `start`.
+    std::uint64_t pos = start;
+    if (start != 0 && byte_at(start - 1) != '\n') {
+      while (pos < end && byte_at(pos) != '\n') ++pos;
+      ++pos;  // byte after the newline
+      ctx.charge(tform::parse_cost(pos - start));
+    }
+    if (pos >= end || pos >= app.data_bytes_) {
+      app.lib_->map_return(ctx, kvmsr_cont);
+      return;
+    }
+    // Parse up to the end of the record spanning `end` (exclusive search for
+    // the first newline at or after end-1).
+    std::uint64_t stop = std::min(end, app.data_bytes_);
+    while (stop < app.data_bytes_ && byte_at(stop - 1) != '\n') ++stop;
+    ctx.charge(tform::parse_cost(stop - pos));
+
+    tform::Fst::Cursor cur;
+    app.fst_.run({buf.data() + (pos - read_begin), stop - pos}, cur,
+                 [&](const std::vector<Word>& fields) {
+                   if (fields.size() != 3)
+                     throw std::runtime_error("ingest: malformed record");
+                   ctx.charge(1);
+                   app.lib_->emit2(ctx, job, fields[0], fields[1], fields[2]);
+                 });
+    app.lib_->map_return(ctx, kvmsr_cont);
+  }
+};
+
+// Reduce: insert the record into the parallel graph; retire when durable.
+struct IngestReduce : ThreadState {
+  kvmsr::JobId job = 0;
+
+  void kv_reduce(Ctx& ctx) {
+    auto& app = ctx.machine().user<App>();
+    job = kvmsr::Library::reduce_job(ctx);
+    app.pg_->insert_edge(ctx, kvmsr::Library::reduce_key(ctx),
+                         kvmsr::Library::reduce_val(ctx, 0), kvmsr::Library::reduce_val(ctx, 1),
+                         ctx.evw_update_event(ctx.cevnt(), app.lb_.r_inserted));
+  }
+
+  void r_inserted(Ctx& ctx) { ctx.machine().user<App>().lib_->reduce_return(ctx, job); }
+};
+
+App& App::install(Machine& m, const Options& opt) { return m.emplace_user<App>(m, opt); }
+
+App::App(Machine& m, const Options& opt) : m_(m), opt_(opt) {
+  lib_ = &kvmsr::Library::install(m);
+  pg_ = &pgraph::ParallelGraph::install(m, opt.graph);
+  Program& p = m.program();
+  lb_.m_chunk = p.event("ingest::m_chunk", &IngestMap::m_chunk);
+  lb_.r_inserted = p.event("ingest::r_inserted", &IngestReduce::r_inserted);
+
+  kvmsr::JobSpec spec;
+  spec.kv_map = p.event("ingest::kv_map", &IngestMap::kv_map);
+  spec.kv_reduce = p.event("ingest::kv_reduce", &IngestReduce::kv_reduce);
+  spec.name = "ingest";
+  job_ = lib_->add_job(spec);
+}
+
+Result App::run(std::string_view csv) {
+  data_bytes_ = csv.size();
+  const std::uint64_t alloc = std::max<std::uint64_t>(64, (data_bytes_ + 63) & ~63ull);
+  data_base_ = m_.memory().dram_malloc_spread(alloc);
+  m_.memory().host_write(data_base_, csv.data(), csv.size());
+
+  const std::uint64_t blocks = ceil_div(data_bytes_, opt_.block_bytes);
+  const kvmsr::JobState& st = lib_->run_to_completion(job_, 0, blocks);
+  Result r;
+  r.records = st.total_emitted;
+  r.start_tick = st.start_tick;
+  r.done_tick = st.done_tick;
+  return r;
+}
+
+}  // namespace updown::ingest

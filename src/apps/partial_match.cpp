@@ -1,0 +1,198 @@
+#include "apps/partial_match.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace updown::pmatch {
+
+// Per-record coordinator: graph insert + pattern-state upserts + probes.
+// Replies to the driver once every sub-operation completed.
+struct PmRecordOp : ThreadState {
+  Word reply_cont = IGNRCONT;
+  Word record_idx = 0;
+  unsigned pending = 0;
+
+  void start(Ctx& ctx) {  // ops: {src, dst, type, record_idx}
+    auto& app = ctx.machine().user<App>();
+    reply_cont = ctx.ccont();
+    record_idx = ctx.op(3);
+    const Word src = ctx.op(0), dst = ctx.op(1), type = ctx.op(2);
+    const Word part = ctx.evw_update_event(ctx.cevnt(), app.lb_.op_part);
+    const Word probe = ctx.evw_update_event(ctx.cevnt(), app.lb_.op_probe);
+
+    pending = 1;
+    app.pg_->insert_edge(ctx, src, dst, type, part);
+    if (src == dst) return;  // self-loops never participate in path patterns
+
+    for (std::size_t i = 0; i < app.opt_.patterns.size(); ++i) {
+      const Pattern& p = app.opt_.patterns[i];
+      ctx.charge(2);  // pattern filter (the artifact's "Fn called" stage)
+      if (type == p.t1) {
+        app.sht_->upsert_add(ctx, app.state_, state_key(dst, i, 0), 1, part);
+        app.sht_->lookup(ctx, app.state_, state_key(dst, i, 1), probe);
+        pending += 2;
+      }
+      if (type == p.t2) {
+        app.sht_->upsert_add(ctx, app.state_, state_key(src, i, 1), 1, part);
+        app.sht_->lookup(ctx, app.state_, state_key(src, i, 0), probe);
+        pending += 2;
+      }
+    }
+
+    // Per-record KVMSR filter stages (the artifact's "F2 called" .. "F9
+    // called"): evaluate the registered pattern set against graph state with
+    // parallel subtasks striped across the machine.
+    const std::uint64_t lanes = ctx.machine().config().total_lanes();
+    for (std::uint32_t f = 0; f < app.opt_.filter_tasks; ++f) {
+      const NetworkId lane = static_cast<NetworkId>((ctx.nwid() + 1 + f * 61) % lanes);
+      ctx.charge(1);
+      ctx.send_event(ctx.evw_new(lane, app.filter_op_), {f}, part);
+      ++pending;
+    }
+  }
+
+  void op_part(Ctx& ctx) { complete(ctx); }
+
+  void op_probe(Ctx& ctx) {
+    auto& app = ctx.machine().user<App>();
+    if (ctx.op(0) != 0 && ctx.op(1) > 0) {
+      ctx.charge(1);
+      app.alerts_++;  // "start PartialMatch: srcID ... dstID ..." alert
+      ctx.log("[pmatch] Record detected -> alert");
+    }
+    complete(ctx);
+  }
+
+ private:
+  void complete(Ctx& ctx) {
+    if (--pending == 0) {
+      if (reply_cont != IGNRCONT) ctx.send_event(reply_cont, {record_idx});
+      ctx.yield_terminate();
+    }
+  }
+};
+
+// One filter subtask: evaluate a slice of the registered pattern set
+// against graph state (a DRAM read plus comparison work), reply to the
+// record coordinator.
+struct PmFilter : ThreadState {
+  Word done_cont = IGNRCONT;
+
+  void f_start(Ctx& ctx) {
+    auto& app = ctx.machine().user<App>();
+    const Word slice = ctx.op(0);
+    done_cont = ctx.ccont();
+    ctx.send_dram_read(app.filter_state_ + (slice % app.opt_.filter_tasks) * 8, 1,
+                       app.lb_.f_loaded);
+  }
+  void f_loaded(Ctx& ctx) {
+    ctx.charge(48);  // pattern evaluation over the slice
+    ctx.send_event(done_cont, {});
+    ctx.yield_terminate();
+  }
+};
+
+// Driver: stream records with a bounded window in flight, timing each
+// record's send-to-completion latency.
+struct PmDriver : ThreadState {
+  std::uint64_t next = 0;
+  std::uint64_t completed = 0;
+  std::vector<Tick> sent;
+
+  void d_start(Ctx& ctx) {
+    auto& app = ctx.machine().user<App>();
+    app.start_tick_ = ctx.start_time();
+    sent.assign(app.records_->size(), 0);
+    pump(ctx);
+  }
+
+  void d_record_done(Ctx& ctx) {
+    auto& app = ctx.machine().user<App>();
+    app.total_latency_ += ctx.now() - sent.at(ctx.op(0));
+    ++completed;
+    pump(ctx);
+  }
+
+ private:
+  void pump(Ctx& ctx) {
+    auto& app = ctx.machine().user<App>();
+    const std::uint64_t total = app.records_->size();
+    while (next < total && next - completed < app.opt_.stream_window) {
+      const auto& r = (*app.records_)[next];
+      const std::uint64_t lanes = ctx.machine().config().total_lanes();
+      sent[next] = ctx.now();
+      ctx.charge(1);
+      ctx.send_event(ctx.evw_new(static_cast<NetworkId>(next % lanes), app.record_op_),
+                     {r.src, r.dst, r.type, next},
+                     ctx.evw_update_event(ctx.cevnt(), app.lb_.d_record_done));
+      ++next;
+    }
+    if (completed == total) {
+      app.done_tick_ = ctx.now();
+      app.finished_ = true;
+      ctx.yield_terminate();
+    }
+  }
+};
+
+App& App::install(Machine& m, const Options& opt) { return m.emplace_user<App>(m, opt); }
+
+App::App(Machine& m, const Options& opt) : m_(m), opt_(opt) {
+  if (opt.patterns.empty()) throw std::invalid_argument("partial_match: no patterns");
+  pg_ = &pgraph::ParallelGraph::install(m, opt.graph);
+  sht_ = &sht::Registry::install(m);
+  sht::TableConfig state_cfg;
+  state_cfg.lanes = opt.state_lanes;
+  state_cfg.name = "pmatch.state";
+  state_ = sht_->create(state_cfg);
+
+  Program& p = m.program();
+  record_op_ = p.event("pmatch::record_op", &PmRecordOp::start);
+  filter_op_ = p.event("pmatch::filter", &PmFilter::f_start);
+  lb_.f_loaded = p.event("pmatch::f_loaded", &PmFilter::f_loaded);
+  filter_state_ = m.memory().dram_malloc_spread(
+      std::max<std::uint64_t>(64, opt.filter_tasks * 8), 4096);
+  lb_.op_part = p.event("pmatch::op_part", &PmRecordOp::op_part);
+  lb_.op_probe = p.event("pmatch::op_probe", &PmRecordOp::op_probe);
+  lb_.d_record_done = p.event("pmatch::d_record_done", &PmDriver::d_record_done);
+  driver_start_ = p.event("pmatch::d_start", &PmDriver::d_start);
+}
+
+Result App::run(const std::vector<tform::EdgeRecord>& records) {
+  records_ = &records;
+  m_.send_from_host(evw::make_new(0, driver_start_), {});
+  m_.run();
+  if (!finished_) throw std::runtime_error("partial_match: stream did not finish");
+  Result r;
+  r.records = records.size();
+  r.alerts = alerts_;
+  r.total_latency = total_latency_;
+  r.start_tick = start_tick_;
+  r.done_tick = done_tick_;
+  return r;
+}
+
+std::uint64_t App::oracle_alerts(const std::vector<tform::EdgeRecord>& records) const {
+  std::unordered_map<Word, Word> state;
+  std::uint64_t alerts = 0;
+  for (const auto& r : records) {
+    if (r.src == r.dst) continue;
+    for (std::size_t i = 0; i < opt_.patterns.size(); ++i) {
+      const Pattern& p = opt_.patterns[i];
+      if (r.type == p.t1) {
+        auto it = state.find(state_key(r.dst, i, 1));
+        if (it != state.end() && it->second > 0) ++alerts;
+        state[state_key(r.dst, i, 0)]++;
+      }
+      if (r.type == p.t2) {
+        auto it = state.find(state_key(r.src, i, 0));
+        if (it != state.end() && it->second > 0) ++alerts;
+        state[state_key(r.src, i, 1)]++;
+      }
+    }
+  }
+  return alerts;
+}
+
+}  // namespace updown::pmatch

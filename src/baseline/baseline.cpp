@@ -1,0 +1,79 @@
+#include "baseline/baseline.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace updown::baseline {
+
+std::vector<double> pagerank(const Graph& g, unsigned iterations, double damping) {
+  const VertexId n = g.num_vertices();
+  std::vector<double> pr(n, n ? 1.0 / static_cast<double>(n) : 0.0);
+  std::vector<double> acc(n);
+  for (unsigned it = 0; it < iterations; ++it) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    for (VertexId u = 0; u < n; ++u) {
+      const std::uint64_t d = g.degree(u);
+      if (d == 0) continue;
+      const double share = pr[u] / static_cast<double>(d);
+      for (VertexId v : g.neighbors_of(u)) acc[v] += share;
+    }
+    for (VertexId v = 0; v < n; ++v)
+      pr[v] = (1.0 - damping) / static_cast<double>(n) + damping * acc[v];
+  }
+  return pr;
+}
+
+BfsResult bfs(const Graph& g, VertexId root) {
+  BfsResult r;
+  r.dist.assign(g.num_vertices(), ~0ull);
+  r.parent.assign(g.num_vertices(), ~0ull);
+  if (root >= g.num_vertices()) return r;
+  r.dist[root] = 0;
+  r.parent[root] = root;
+  std::vector<VertexId> frontier{root};
+  while (!frontier.empty()) {
+    ++r.rounds;
+    std::vector<VertexId> next;
+    for (VertexId u : frontier) {
+      for (VertexId v : g.neighbors_of(u)) {
+        ++r.traversed_edges;
+        if (r.dist[v] == ~0ull) {
+          r.dist[v] = r.dist[u] + 1;
+          r.parent[v] = u;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return r;
+}
+
+std::uint64_t triangle_count(const Graph& g) {
+  // Count ordered triples x > y with edge (x,y), then intersect N(x), N(y)
+  // restricted to z < y: every triangle x > y > z is counted exactly once.
+  std::uint64_t count = 0;
+  for (VertexId x = 0; x < g.num_vertices(); ++x) {
+    const auto nx = g.neighbors_of(x);
+    for (VertexId y : nx) {
+      if (y >= x) break;  // adjacency sorted ascending
+      const auto ny = g.neighbors_of(y);
+      // Merge-intersect the prefixes with ids < y.
+      std::size_t i = 0, j = 0;
+      while (i < nx.size() && j < ny.size() && nx[i] < y && ny[j] < y) {
+        if (nx[i] < ny[j])
+          ++i;
+        else if (nx[i] > ny[j])
+          ++j;
+        else {
+          ++count;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace updown::baseline

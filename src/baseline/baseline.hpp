@@ -1,0 +1,32 @@
+// CPU reference implementations ("baseline comparator"), used as correctness
+// oracles for the simulated UpDown applications and as the conventional-CPU
+// side of benchmark comparisons.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace updown::baseline {
+
+/// Push-style PageRank: `iterations` synchronous sweeps with damping d.
+/// pr'[v] = (1-d)/N + d * sum_{u->v} pr[u]/outdeg(u).
+/// Dangling vertices (outdeg 0) contribute nothing, matching the simulated
+/// push implementation.
+std::vector<double> pagerank(const Graph& g, unsigned iterations, double damping = 0.85);
+
+struct BfsResult {
+  std::vector<std::uint64_t> dist;    ///< ~0ull if unreachable
+  std::vector<VertexId> parent;       ///< ~0ull if none
+  std::uint64_t traversed_edges = 0;
+  std::uint64_t rounds = 0;
+};
+
+BfsResult bfs(const Graph& g, VertexId root);
+
+/// Triangle count on a directed-by-id orientation: counts each triangle once
+/// (requires symmetric input, like the Graph Challenge datasets).
+std::uint64_t triangle_count(const Graph& g);
+
+}  // namespace updown::baseline

@@ -1,0 +1,36 @@
+// Small bit-manipulation helpers shared by the translation unit, hash-based
+// computation binding, and data-structure sizing (everything in UpDown that
+// is "power of 2" sized).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace updown {
+
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+constexpr std::uint64_t next_pow2(std::uint64_t x) { return x <= 1 ? 1 : std::bit_ceil(x); }
+
+constexpr unsigned log2_exact(std::uint64_t x) { return static_cast<unsigned>(std::countr_zero(x)); }
+
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) { return (a + b - 1) / b; }
+
+/// 64-bit finalizer (Murmur3 fmix64). Used for the Hash computation binding:
+/// LaneID = (hash(key) % NRLanes) + 1stLane.
+constexpr std::uint64_t hash64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Combine two vertex ids into one hash key (used by TC's reduce binding,
+/// which hashes "a combination of the vertex names").
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return hash64(a * 0x9e3779b97f4a7c15ULL + b + 0x7f4a7c159e3779b9ULL);
+}
+
+}  // namespace updown

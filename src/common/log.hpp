@@ -1,0 +1,32 @@
+// Minimal leveled logger. The simulator's equivalent of the paper's
+// [BASIM_PRINT] trace lines: messages are prefixed with the simulated tick so
+// that timings can be extracted exactly as the artifact appendix describes.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace updown {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+class Logger {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::kWarn;
+    return lvl;
+  }
+
+  template <typename... Args>
+  static void log(LogLevel lvl, Tick tick, const char* fmt, Args&&... args) {
+    if (lvl > level()) return;
+    std::fprintf(stderr, "[UDSIM] %llu: ", static_cast<unsigned long long>(tick));
+    std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+    std::fputc('\n', stderr);
+  }
+};
+
+}  // namespace updown

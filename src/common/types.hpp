@@ -1,0 +1,35 @@
+// Fundamental types shared across the UpDown simulator, runtime and apps.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace updown {
+
+/// Simulated time in lane clock cycles (the UpDown target clock is 2 GHz,
+/// so 1 tick = 0.5 ns; the paper's logs report these same "ticks").
+using Tick = std::uint64_t;
+
+/// Global computation-location name: a flat lane index across the whole
+/// machine (node-major, then accelerator, then lane). The paper calls this
+/// the networkID of a <node, lane>.
+using NetworkId = std::uint32_t;
+
+/// Per-lane thread context identifier.
+using ThreadId = std::uint16_t;
+
+/// Index of a registered event handler in the Program registry. The paper
+/// calls this the "event label" (the address of the event in the program).
+using EventLabel = std::uint16_t;
+
+/// Virtual address in the global shared address space.
+using Addr = std::uint64_t;
+
+/// All UDWeave operands are 64-bit words.
+using Word = std::uint64_t;
+
+constexpr double kClockHz = 2.0e9;  // 2 GHz lane clock
+
+inline double ticks_to_seconds(Tick t) { return static_cast<double>(t) / kClockHz; }
+
+}  // namespace updown

@@ -1,0 +1,18 @@
+// Byte-size and rate literals used by the machine configuration.
+#pragma once
+
+#include <cstdint>
+
+namespace updown {
+
+constexpr std::uint64_t KiB = 1024ULL;
+constexpr std::uint64_t MiB = 1024ULL * KiB;
+constexpr std::uint64_t GiB = 1024ULL * MiB;
+constexpr std::uint64_t TiB = 1024ULL * GiB;
+
+/// Convert a TB/s figure from the paper into bytes per 2 GHz cycle.
+constexpr double tbps_to_bytes_per_cycle(double tbps) {
+  return tbps * 1.0e12 / 2.0e9;
+}
+
+}  // namespace updown

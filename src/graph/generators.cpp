@@ -1,0 +1,98 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace updown {
+
+Graph rmat(std::uint32_t scale, const RmatParams& p, std::uint64_t seed) {
+  const std::uint64_t n = 1ull << scale;
+  const std::uint64_t m = n * p.edge_factor;
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  const double ab = p.a + p.b;
+  const double abc = p.a + p.b + p.c;
+  for (std::uint64_t e = 0; e < m; ++e) {
+    std::uint64_t src = 0, dst = 0;
+    for (std::uint32_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform();
+      src <<= 1;
+      dst <<= 1;
+      if (r < p.a) {
+        // top-left quadrant: nothing to add
+      } else if (r < ab) {
+        dst |= 1;
+      } else if (r < abc) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    edges.emplace_back(src, dst);
+  }
+  return Graph::from_edges(n, std::move(edges), p.symmetrize);
+}
+
+Graph erdos_renyi(std::uint32_t scale, std::uint32_t edge_factor, std::uint64_t seed,
+                  bool symmetrize) {
+  const std::uint64_t n = 1ull << scale;
+  const std::uint64_t m = n * edge_factor;
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::uint64_t e = 0; e < m; ++e)
+    edges.emplace_back(rng.below(n), rng.below(n));
+  return Graph::from_edges(n, std::move(edges), symmetrize);
+}
+
+Graph forest_fire(std::uint64_t num_vertices, double fw_prob, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  // Grow the graph vertex by vertex; adjacency kept as out-lists during
+  // growth, converted to CSR at the end.
+  std::vector<std::vector<VertexId>> out(num_vertices);
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v < num_vertices; ++v) {
+    const VertexId ambassador = rng.below(v);
+    std::unordered_set<VertexId> visited{v};
+    std::vector<VertexId> frontier{ambassador};
+    // Burn outward: geometric number of links per burned vertex.
+    std::size_t burned = 0;
+    while (!frontier.empty() && burned < 64) {
+      const VertexId u = frontier.back();
+      frontier.pop_back();
+      if (!visited.insert(u).second) continue;
+      edges.emplace_back(v, u);
+      out[v].push_back(u);
+      ++burned;
+      for (VertexId w : out[u])
+        if (rng.uniform() < fw_prob && !visited.count(w)) frontier.push_back(w);
+    }
+  }
+  return Graph::from_edges(num_vertices, std::move(edges), /*symmetrize=*/true);
+}
+
+Graph path_graph(std::uint64_t n, bool symmetrize) {
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return Graph::from_edges(n, std::move(edges), symmetrize);
+}
+
+Graph star_graph(std::uint64_t leaves) {
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v <= leaves; ++v) edges.emplace_back(0, v);
+  return Graph::from_edges(leaves + 1, std::move(edges), /*symmetrize=*/true);
+}
+
+Graph complete_graph(std::uint64_t n) {
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = 0; v < n; ++v)
+      if (u != v) edges.emplace_back(u, v);
+  return Graph::from_edges(n, std::move(edges));
+}
+
+}  // namespace updown

@@ -1,0 +1,31 @@
+#include "graph/graph.hpp"
+
+namespace updown {
+
+Graph Graph::from_edges(VertexId num_vertices, std::vector<Edge> edges, bool symmetrize) {
+  if (symmetrize) {
+    const std::size_t n = edges.size();
+    edges.reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) edges.emplace_back(edges[i].second, edges[i].first);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Graph g;
+  g.offsets_.assign(num_vertices + 1, 0);
+  g.neighbors_.reserve(edges.size());
+  for (const auto& [src, dst] : edges) {
+    if (src == dst) continue;  // drop self-loops
+    g.offsets_[src + 1]++;
+  }
+  for (VertexId v = 0; v < num_vertices; ++v) g.offsets_[v + 1] += g.offsets_[v];
+  // Edges are sorted by (src, dst), so pushing destinations in order yields
+  // sorted adjacency lists directly.
+  for (const auto& [src, dst] : edges) {
+    if (src == dst) continue;
+    g.neighbors_.push_back(dst);
+  }
+  return g;
+}
+
+}  // namespace updown

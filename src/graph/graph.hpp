@@ -1,0 +1,66 @@
+// Host-side graph representation: CSR ("neighbor list format" in the paper).
+// This is the output of the artifact's preprocessing tools (split_and_shuffle,
+// tsv): a vertex array plus a flat neighbor-list array.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace updown {
+
+using VertexId = std::uint64_t;
+using Edge = std::pair<VertexId, VertexId>;
+
+class Graph {
+ public:
+  Graph() : offsets_(1, 0) {}
+
+  /// Build a CSR graph from an edge list. Self-loops and duplicate edges are
+  /// removed and adjacency lists are sorted by destination (the preprocessing
+  /// the paper's `tsv` tool performs for TC).
+  static Graph from_edges(VertexId num_vertices, std::vector<Edge> edges,
+                          bool symmetrize = false);
+
+  /// Adopt prebuilt CSR arrays verbatim (no dedup/sort/self-loop removal).
+  /// Used where vertex and neighbor id spaces intentionally differ, e.g. the
+  /// split-vertex graph whose neighbors are original-graph ids.
+  static Graph from_csr(std::vector<std::uint64_t> offsets, std::vector<VertexId> neighbors) {
+    Graph g;
+    g.offsets_ = std::move(offsets);
+    g.neighbors_ = std::move(neighbors);
+    return g;
+  }
+
+  VertexId num_vertices() const { return offsets_.size() - 1; }
+  std::uint64_t num_edges() const { return neighbors_.size(); }
+
+  std::uint64_t degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+  std::uint64_t offset(VertexId v) const { return offsets_[v]; }
+
+  std::span<const VertexId> neighbors_of(VertexId v) const {
+    return {neighbors_.data() + offsets_[v], degree(v)};
+  }
+
+  const std::vector<std::uint64_t>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& neighbors() const { return neighbors_; }
+
+  std::uint64_t max_degree() const {
+    std::uint64_t md = 0;
+    for (VertexId v = 0; v < num_vertices(); ++v) md = std::max(md, degree(v));
+    return md;
+  }
+
+  bool has_edge(VertexId u, VertexId v) const {
+    const auto nbrs = neighbors_of(u);
+    return std::binary_search(nbrs.begin(), nbrs.end(), v);
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;  ///< size num_vertices + 1
+  std::vector<VertexId> neighbors_;
+};
+
+}  // namespace updown

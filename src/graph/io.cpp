@@ -1,0 +1,88 @@
+#include "graph/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace updown {
+
+namespace {
+constexpr std::uint64_t kGvMagic = 0x5544475631ull;  // "UDGV1"
+
+void check(const std::ios& s, const std::string& what) {
+  if (!s) throw std::runtime_error("graph io: failed to " + what);
+}
+}  // namespace
+
+Graph read_edge_list(const std::string& path, std::uint64_t skip_lines, bool symmetrize) {
+  std::ifstream in(path);
+  check(in, "open " + path);
+  std::string line;
+  std::vector<Edge> edges;
+  VertexId max_v = 0;
+  std::uint64_t lineno = 0;
+  while (std::getline(in, line)) {
+    if (lineno++ < skip_lines) continue;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    VertexId s, d;
+    if (!(ls >> s >> d)) continue;
+    edges.emplace_back(s, d);
+    max_v = std::max({max_v, s, d});
+  }
+  const VertexId n = edges.empty() ? 0 : max_v + 1;  // before the move below
+  return Graph::from_edges(n, std::move(edges), symmetrize);
+}
+
+void write_edge_list(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  check(out, "open " + path);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    for (VertexId u : g.neighbors_of(v)) out << v << '\t' << u << '\n';
+  check(out, "write " + path);
+}
+
+void write_binary(const Graph& g, const std::string& prefix) {
+  {
+    std::ofstream gv(prefix + "_gv.bin", std::ios::binary);
+    check(gv, "open " + prefix + "_gv.bin");
+    const std::uint64_t n = g.num_vertices(), m = g.num_edges();
+    gv.write(reinterpret_cast<const char*>(&kGvMagic), 8);
+    gv.write(reinterpret_cast<const char*>(&n), 8);
+    gv.write(reinterpret_cast<const char*>(&m), 8);
+    gv.write(reinterpret_cast<const char*>(g.offsets().data()),
+             static_cast<std::streamsize>((n + 1) * 8));
+    check(gv, "write vertex array");
+  }
+  {
+    std::ofstream nl(prefix + "_nl.bin", std::ios::binary);
+    check(nl, "open " + prefix + "_nl.bin");
+    nl.write(reinterpret_cast<const char*>(g.neighbors().data()),
+             static_cast<std::streamsize>(g.num_edges() * 8));
+    check(nl, "write neighbor list");
+  }
+}
+
+Graph read_binary(const std::string& prefix) {
+  std::ifstream gv(prefix + "_gv.bin", std::ios::binary);
+  check(gv, "open " + prefix + "_gv.bin");
+  std::uint64_t magic = 0, n = 0, m = 0;
+  gv.read(reinterpret_cast<char*>(&magic), 8);
+  if (magic != kGvMagic) throw std::runtime_error("graph io: bad _gv.bin magic");
+  gv.read(reinterpret_cast<char*>(&n), 8);
+  gv.read(reinterpret_cast<char*>(&m), 8);
+  std::vector<std::uint64_t> offsets(n + 1);
+  gv.read(reinterpret_cast<char*>(offsets.data()), static_cast<std::streamsize>((n + 1) * 8));
+  check(gv, "read vertex array");
+
+  std::ifstream nl(prefix + "_nl.bin", std::ios::binary);
+  check(nl, "open " + prefix + "_nl.bin");
+  std::vector<VertexId> neighbors(m);
+  nl.read(reinterpret_cast<char*>(neighbors.data()), static_cast<std::streamsize>(m * 8));
+  check(nl, "read neighbor list");
+  return Graph::from_csr(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace updown

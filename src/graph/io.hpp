@@ -1,0 +1,27 @@
+// Graph file IO mirroring the artifact's preprocessing pipeline:
+//   - plain-text edge lists (the raw SNAP / generator format),
+//   - binary *_gv.bin / *_nl.bin pairs (the preprocessed vertex-array +
+//     neighbor-list files consumed by the UpDown applications).
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace updown {
+
+/// Parse "src dst" lines; `skip_lines` mirrors the tools' -l offset flag for
+/// headers. Tabs or spaces separate fields; blank lines and lines starting
+/// with '#' or '%' are ignored.
+Graph read_edge_list(const std::string& path, std::uint64_t skip_lines = 0,
+                     bool symmetrize = false);
+
+void write_edge_list(const Graph& g, const std::string& path);
+
+/// Write `<prefix>_gv.bin` (vertex count + per-vertex degree/offset records)
+/// and `<prefix>_nl.bin` (the flat neighbor-list array).
+void write_binary(const Graph& g, const std::string& prefix);
+
+Graph read_binary(const std::string& prefix);
+
+}  // namespace updown

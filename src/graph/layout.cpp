@@ -1,0 +1,43 @@
+#include "graph/layout.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace updown {
+
+DeviceGraph upload_graph(Machine& m, const Graph& g, const GraphPlacement& place,
+                         const SplitGraph* split) {
+  GlobalMemory& mem = m.memory();
+  const std::uint32_t nr = place.nr_nodes == 0 ? m.config().nodes : place.nr_nodes;
+
+  DeviceGraph dg;
+  dg.num_vertices = g.num_vertices();
+  dg.num_edges = g.num_edges();
+  dg.num_original = split ? split->num_original : g.num_vertices();
+
+  const std::uint64_t vtx_bytes = std::max<std::uint64_t>(1, dg.num_vertices) *
+                                  DeviceGraph::kVertexBytes;
+  const std::uint64_t nbr_bytes = std::max<std::uint64_t>(8, dg.num_edges * 8);
+  dg.vtx_base = mem.dram_malloc(vtx_bytes, place.first_node, nr, place.block_size);
+  dg.nbr_base = mem.dram_malloc(nbr_bytes, place.first_node, nr, place.block_size);
+
+  // Neighbor list first (vertex records point into it).
+  if (dg.num_edges > 0)
+    mem.host_write(dg.nbr_base, g.neighbors().data(), dg.num_edges * 8);
+
+  std::vector<Word> rec(DeviceGraph::kVertexWords);
+  for (VertexId v = 0; v < dg.num_vertices; ++v) {
+    rec[DeviceGraph::kId] = split ? split->owner[v] : v;
+    rec[DeviceGraph::kDegree] = g.degree(v);
+    rec[DeviceGraph::kNbrPtr] = dg.nbr_base + g.offset(v) * 8;
+    rec[DeviceGraph::kValue] = 0;
+    rec[DeviceGraph::kDist] = kInfDist;
+    rec[DeviceGraph::kParent] = kNoParent;
+    rec[DeviceGraph::kOwnerDegree] = split ? split->owner_degree[v] : g.degree(v);
+    rec[DeviceGraph::kAux] = 0;
+    mem.host_write(dg.vertex_addr(v), rec.data(), DeviceGraph::kVertexBytes);
+  }
+  return dg;
+}
+
+}  // namespace updown

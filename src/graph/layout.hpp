@@ -1,0 +1,68 @@
+// Device graph layout: the paper's two global data structures — the vertex
+// array and the neighbor-list array — placed in the simulated global address
+// space with DRAMmalloc (default: spread over the machine in 32 KiB blocks,
+// Section 4.1.1).
+//
+// Vertex record (8 words / 64 bytes):
+//   [0] id            original vertex id (for split graphs: the owner)
+//   [1] degree        out-degree of this (sub-)vertex
+//   [2] nbr_ptr       VA of this vertex's slice of the neighbor list
+//   [3] value         f64 bit pattern (PageRank value, etc.)
+//   [4] dist          BFS distance (init: kInfDist)
+//   [5] parent        BFS parent  (init: kNoParent)
+//   [6] owner_degree  total out-degree of the original vertex (PR transform)
+//   [7] aux           scratch field for applications
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "graph/split.hpp"
+#include "sim/machine.hpp"
+
+namespace updown {
+
+constexpr Word kInfDist = ~0ull;
+constexpr Word kNoParent = ~0ull;
+
+struct DeviceGraph {
+  Addr vtx_base = 0;
+  Addr nbr_base = 0;
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::uint64_t num_original = 0;  ///< == num_vertices unless split
+
+  static constexpr std::uint64_t kVertexWords = 8;
+  static constexpr std::uint64_t kVertexBytes = 64;
+  enum Field : std::uint64_t {
+    kId = 0,
+    kDegree = 1,
+    kNbrPtr = 2,
+    kValue = 3,
+    kDist = 4,
+    kParent = 5,
+    kOwnerDegree = 6,
+    kAux = 7
+  };
+
+  Addr vertex_addr(VertexId v) const { return vtx_base + v * kVertexBytes; }
+  Addr field_addr(VertexId v, Field f) const { return vertex_addr(v) + f * 8; }
+};
+
+struct GraphPlacement {
+  std::uint32_t first_node = 0;
+  std::uint32_t nr_nodes = 0;  ///< 0 = whole machine (the paper's default)
+  std::uint64_t block_size = 32 * 1024;
+};
+
+/// Upload an (optionally split) graph into simulated global memory. Host-side
+/// writes model the data-loading phase outside the timed region.
+DeviceGraph upload_graph(Machine& m, const Graph& g, const GraphPlacement& place = {},
+                         const SplitGraph* split = nullptr);
+
+inline DeviceGraph upload_split_graph(Machine& m, const SplitGraph& sg,
+                                      const GraphPlacement& place = {}) {
+  return upload_graph(m, sg.g, place, &sg);
+}
+
+}  // namespace updown

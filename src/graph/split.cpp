@@ -1,0 +1,82 @@
+#include "graph/split.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+
+namespace updown {
+
+VertexId SplitGraph::slot_owner(std::uint64_t slot) const {
+  auto it = std::upper_bound(slot_offset.begin(), slot_offset.end(), slot);
+  return static_cast<VertexId>(it - slot_offset.begin() - 1);
+}
+
+SplitGraph split_vertices(const Graph& g, std::uint64_t max_degree, bool shuffle,
+                          std::uint64_t seed) {
+  if (max_degree == 0) throw std::invalid_argument("split_vertices: max_degree must be > 0");
+  const VertexId n = g.num_vertices();
+
+  // Pass 1: pieces per original vertex and the contiguous slot numbering
+  // (degree-0 vertices keep a single piece so every original has a slot and
+  // a sub-vertex).
+  SplitGraph out;
+  out.num_original = n;
+  out.slot_offset.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    const std::uint64_t pieces =
+        std::max<std::uint64_t>(1, ceil_div(g.degree(v), max_degree));
+    out.slot_offset[v + 1] = out.slot_offset[v] + pieces;
+  }
+  const std::uint64_t total_subs = out.slot_offset[n];
+
+  // Pass 2: enumerate sub-vertices in slot order, then optionally shuffle the
+  // *sub-vertex* numbering (slot ids stay contiguous per original).
+  struct Sub {
+    VertexId owner;
+    std::uint64_t chunk_begin;
+  };
+  std::vector<Sub> subs;
+  subs.reserve(total_subs);
+  for (VertexId v = 0; v < n; ++v) {
+    const std::uint64_t pieces = out.slot_offset[v + 1] - out.slot_offset[v];
+    for (std::uint64_t p = 0; p < pieces; ++p) subs.push_back({v, p * max_degree});
+  }
+
+  std::vector<std::size_t> order(subs.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (shuffle) {
+    Xoshiro256 rng(seed);
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.below(i)]);
+  }
+
+  // Pass 3: materialize the sub-vertex CSR with in-edge slot rewriting.
+  // Round-robin counters distribute each target's in-edges over its slots.
+  std::vector<std::uint64_t> rr(n, 0);
+  out.owner.reserve(subs.size());
+  out.owner_degree.reserve(subs.size());
+  std::vector<std::uint64_t> offsets(subs.size() + 1, 0);
+  std::vector<VertexId> neighbors;
+  neighbors.reserve(g.num_edges());
+  for (std::size_t s = 0; s < order.size(); ++s) {
+    const Sub& sub = subs[order[s]];
+    out.owner.push_back(sub.owner);
+    const std::uint64_t d = g.degree(sub.owner);
+    out.owner_degree.push_back(d);
+    const auto nbrs = g.neighbors_of(sub.owner);
+    const std::uint64_t len = std::min(max_degree, d - std::min(d, sub.chunk_begin));
+    for (std::uint64_t i = 0; i < len; ++i) {
+      const VertexId t = nbrs[sub.chunk_begin + i];
+      const std::uint64_t pieces_t = out.slot_offset[t + 1] - out.slot_offset[t];
+      neighbors.push_back(out.slot_offset[t] + (rr[t]++ % pieces_t));
+    }
+    offsets[s + 1] = neighbors.size();
+  }
+  out.g = Graph::from_csr(std::move(offsets), std::move(neighbors));
+  return out;
+}
+
+}  // namespace updown

@@ -1,0 +1,50 @@
+// Vertex splitting ("split_and_shuffle" in the paper's artifact).
+//
+// High-degree vertices are split into sub-vertices with at most `max_degree`
+// out-neighbors each, "yet yields the correct result for the original graph"
+// (paper Section 5.2.1). The transform bounds the degree in BOTH directions:
+//
+//   - out-degree: each sub-vertex owns a <= max_degree slice of its owner's
+//     adjacency list; the shuffle spreads a heavy hitter's pieces across
+//     Block-binding partitions, balancing the map side.
+//   - in-degree: every edge target is rewritten to one of the target's
+//     "accumulator slots" (round-robin over its pieces). Contributions to a
+//     hub therefore hash to many reduce lanes instead of serializing on one;
+//     PageRank's apply phase sums each original vertex's slot range
+//     [slot_offset[v], slot_offset[v+1]).
+//
+// Slot ids are assigned contiguously per original vertex (independent of the
+// sub-vertex shuffle), so the slot range of an original is a dense interval.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace updown {
+
+struct SplitGraph {
+  /// Sub-vertex graph. `g.neighbors_of(s)` are ACCUMULATOR SLOT ids of the
+  /// target vertices (use slot_owner() to map a slot back to its original).
+  Graph g;
+  /// owner[s]: the original vertex a sub-vertex belongs to.
+  std::vector<VertexId> owner;
+  /// owner_degree[s]: total out-degree of owner[s] in the original graph.
+  std::vector<std::uint64_t> owner_degree;
+  /// slot_offset[v]: first accumulator slot of original vertex v
+  /// (size num_original + 1; slot count == sub-vertex count).
+  std::vector<std::uint64_t> slot_offset;
+  VertexId num_original = 0;
+
+  VertexId num_sub() const { return g.num_vertices(); }
+  std::uint64_t num_slots() const { return slot_offset.empty() ? 0 : slot_offset.back(); }
+
+  /// Original vertex owning accumulator slot `slot` (test/debug helper).
+  VertexId slot_owner(std::uint64_t slot) const;
+};
+
+SplitGraph split_vertices(const Graph& g, std::uint64_t max_degree, bool shuffle = true,
+                          std::uint64_t seed = 42);
+
+}  // namespace updown

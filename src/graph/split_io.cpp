@@ -1,0 +1,77 @@
+#include "graph/split_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/io.hpp"
+
+namespace updown {
+
+namespace {
+constexpr std::uint64_t kMetaMagic = 0x55444d455631ull;  // "UDMEV1"
+
+void check(const std::ios& s, const std::string& what) {
+  if (!s) throw std::runtime_error("split io: failed to " + what);
+}
+
+template <typename T>
+void write_vec(std::ofstream& out, const std::vector<T>& v) {
+  const std::uint64_t n = v.size();
+  out.write(reinterpret_cast<const char*>(&n), 8);
+  out.write(reinterpret_cast<const char*>(v.data()), static_cast<std::streamsize>(n * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::ifstream& in) {
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), 8);
+  std::vector<T> v(n);
+  in.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(n * sizeof(T)));
+  return v;
+}
+}  // namespace
+
+void write_split_binary(const SplitGraph& sg, const std::string& prefix) {
+  write_binary(sg.g, prefix);
+  std::ofstream meta(prefix + "_meta.bin", std::ios::binary);
+  check(meta, "open " + prefix + "_meta.bin");
+  meta.write(reinterpret_cast<const char*>(&kMetaMagic), 8);
+  const std::uint64_t n_orig = sg.num_original;
+  meta.write(reinterpret_cast<const char*>(&n_orig), 8);
+  write_vec(meta, sg.owner);
+  write_vec(meta, sg.owner_degree);
+  write_vec(meta, sg.slot_offset);
+  check(meta, "write " + prefix + "_meta.bin");
+}
+
+SplitGraph read_split_binary(const std::string& prefix) {
+  SplitGraph sg;
+  sg.g = read_binary(prefix);
+  std::ifstream meta(prefix + "_meta.bin", std::ios::binary);
+  check(meta, "open " + prefix + "_meta.bin");
+  std::uint64_t magic = 0, n_orig = 0;
+  meta.read(reinterpret_cast<char*>(&magic), 8);
+  if (magic != kMetaMagic) throw std::runtime_error("split io: bad _meta.bin magic");
+  meta.read(reinterpret_cast<char*>(&n_orig), 8);
+  sg.num_original = n_orig;
+  sg.owner = read_vec<VertexId>(meta);
+  sg.owner_degree = read_vec<std::uint64_t>(meta);
+  sg.slot_offset = read_vec<std::uint64_t>(meta);
+  check(meta, "read " + prefix + "_meta.bin");
+  if (sg.owner.size() != sg.num_sub() || sg.slot_offset.size() != n_orig + 1)
+    throw std::runtime_error("split io: inconsistent meta arrays");
+  return sg;
+}
+
+std::string split_stats(const Graph& original, const SplitGraph& sg) {
+  std::ostringstream os;
+  os << "vertices: " << original.num_vertices() << " -> " << sg.num_sub()
+     << " sub-vertices\n"
+     << "edges:    " << original.num_edges() << " (preserved: "
+     << (sg.g.num_edges() == original.num_edges() ? "yes" : "NO") << ")\n"
+     << "max degree: " << original.max_degree() << " -> " << sg.g.max_degree() << "\n";
+  return os.str();
+}
+
+}  // namespace updown

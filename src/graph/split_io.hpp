@@ -1,0 +1,20 @@
+// Binary IO for split graphs — the output format of the split_and_shuffle
+// preprocessing tool: the artifact's *_gv.bin/_nl.bin pair plus a *_meta.bin
+// carrying the owner/slot arrays the split transform needs at load time.
+#pragma once
+
+#include <string>
+
+#include "graph/split.hpp"
+
+namespace updown {
+
+/// Write `<prefix>_gv.bin`, `<prefix>_nl.bin` and `<prefix>_meta.bin`.
+void write_split_binary(const SplitGraph& sg, const std::string& prefix);
+
+SplitGraph read_split_binary(const std::string& prefix);
+
+/// The artifact's statistics summary (printed by split_and_shuffle -s).
+std::string split_stats(const Graph& original, const SplitGraph& sg);
+
+}  // namespace updown

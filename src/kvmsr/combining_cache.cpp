@@ -1,0 +1,99 @@
+#include "kvmsr/combining_cache.hpp"
+
+#include <utility>
+
+namespace updown::kvmsr {
+
+// Per-lane flush: drain the lane's combining table with a window of
+// read-modify-write chains (read current DRAM value -> add the cached delta
+// -> write back -> ack), then reply to CCONT.
+struct CacheFlushThread : ThreadState {
+  static constexpr unsigned kWindow = 64;
+
+  Word done_cont = IGNRCONT;
+  std::vector<std::pair<Addr, CombiningCache::Slot>> pending;
+  CombiningCache::LaneMap by_addr;
+  std::size_t next = 0;
+  unsigned inflight = 0;
+  EventLabel loaded_label = 0, written_label = 0;
+
+  void f_start(Ctx& ctx) {
+    auto& cc = ctx.machine().service<CombiningCache>();
+    done_cont = ctx.ccont();
+    loaded_label = cc.loaded_;
+    written_label = cc.written_;
+    auto& table = cc.per_lane_.at(ctx.nwid());
+    pending.assign(table.begin(), table.end());
+    by_addr = std::move(table);
+    table.clear();
+    ctx.charge(2 + pending.size());  // table walk
+    pump(ctx);
+  }
+
+  void f_loaded(Ctx& ctx) {
+    // ccont of a DRAM response carries the request address.
+    const Addr addr = ctx.ccont();
+    const CombiningCache::Slot slot = find(addr);
+    Word updated;
+    if (slot.is_f64)
+      updated = std::bit_cast<Word>(std::bit_cast<double>(ctx.op(0)) +
+                                    std::bit_cast<double>(slot.bits));
+    else
+      updated = ctx.op(0) + slot.bits;
+    ctx.charge(2);
+    ctx.send_dram_write(addr, {updated}, written_label);
+  }
+
+  void f_written(Ctx& ctx) {
+    --inflight;
+    ctx.machine().service<CombiningCache>().total_flushed_++;
+    pump(ctx);
+  }
+
+ private:
+  CombiningCache::Slot find(Addr addr) const {
+    auto it = by_addr.find(addr);
+    if (it == by_addr.end())
+      throw std::logic_error("combining cache flush: unknown address in RMW reply");
+    return it->second;
+  }
+
+  void pump(Ctx& ctx) {
+    while (inflight < kWindow && next < pending.size()) {
+      ctx.send_dram_read(pending[next].first, 1, loaded_label);
+      ++inflight;
+      ++next;
+    }
+    if (inflight == 0 && next >= pending.size()) {
+      if (done_cont != IGNRCONT) ctx.send_event(done_cont, {});
+      ctx.yield_terminate();
+    }
+  }
+};
+
+CombiningCache& CombiningCache::install(Machine& m) {
+  if (m.has_service<CombiningCache>()) return m.service<CombiningCache>();
+  return m.add_service<CombiningCache>(m);
+}
+
+CombiningCache::CombiningCache(Machine& m) : per_lane_(m.config().total_lanes()) {
+  Program& p = m.program();
+  flush_ = p.event("combining_cache::f_start", &CacheFlushThread::f_start);
+  loaded_ = p.event("combining_cache::f_loaded", &CacheFlushThread::f_loaded);
+  written_ = p.event("combining_cache::f_written", &CacheFlushThread::f_written);
+}
+
+void CombiningCache::add_f64(Ctx& ctx, Addr addr, double delta) {
+  ctx.charge(3);  // hash + scratchpad load + store
+  Slot& s = per_lane_.at(ctx.nwid())[addr];
+  s.is_f64 = true;
+  s.bits = std::bit_cast<Word>(std::bit_cast<double>(s.bits) + delta);
+}
+
+void CombiningCache::add_u64(Ctx& ctx, Addr addr, Word delta) {
+  ctx.charge(3);
+  Slot& s = per_lane_.at(ctx.nwid())[addr];
+  s.bits += delta;
+}
+
+}  // namespace updown::kvmsr

@@ -1,0 +1,56 @@
+// Combining cache: the paper's software fetch&add (footnote 1: "implemented
+// in UDWeave; it is not a hardware primitive. The implementation caches the
+// value in the scratchpad for high performance and provides atomicity").
+//
+// Additions for a global address accumulate in a lane-local (scratchpad)
+// table; atomicity follows from lane event atomicity plus the Hash reduce
+// binding, which routes every tuple for a given key to the same lane. The
+// flush event — designed to plug into JobSpec::flush — drains the table with
+// windowed read-modify-write chains through the simulated DRAM and replies to
+// the KVMSR master when its lane is clean.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "udweave/context.hpp"
+
+namespace updown::kvmsr {
+
+class CombiningCache {
+ public:
+  static CombiningCache& install(Machine& m);
+
+  explicit CombiningCache(Machine& m);
+
+  /// fetch&add for f64 accumulators (PageRank contributions).
+  void add_f64(Ctx& ctx, Addr addr, double delta);
+  /// fetch&add for u64 counters (triangle counts, histogram bins).
+  void add_u64(Ctx& ctx, Addr addr, Word delta);
+
+  /// Event label of the per-lane flush thread; pass as JobSpec::flush.
+  EventLabel flush_label() const { return flush_; }
+
+  std::size_t entries(NetworkId lane) const { return per_lane_.at(lane).size(); }
+  std::uint64_t total_flushed() const { return total_flushed_; }
+
+ private:
+  friend struct CacheFlushThread;
+
+  struct Slot {
+    Word bits = 0;      ///< accumulated value (f64 or u64 bit pattern)
+    bool is_f64 = false;
+  };
+  using LaneMap = std::unordered_map<Addr, Slot>;
+
+  std::vector<LaneMap> per_lane_;
+  EventLabel flush_ = 0;
+  EventLabel loaded_ = 0;
+  EventLabel written_ = 0;
+  std::uint64_t total_flushed_ = 0;
+};
+
+}  // namespace updown::kvmsr

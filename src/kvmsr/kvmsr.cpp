@@ -1,0 +1,443 @@
+#include "kvmsr/kvmsr.hpp"
+
+#include <algorithm>
+
+namespace updown::kvmsr {
+
+// ---------------------------------------------------------------------------
+// Runtime thread classes. These are the KVMSR library's own UDWeave threads:
+// a per-launch master, per-node broadcast relays, a per-lane worker that
+// pumps map tasks with a bounded in-flight window, and per-lane poll agents
+// for the termination gather.
+// ---------------------------------------------------------------------------
+
+struct MasterThread : ThreadState {
+  JobId job = 0;
+  std::uint64_t key_begin = 0, key_end = 0;
+  Word cont = IGNRCONT;
+  std::uint32_t lanes_done = 0;
+  std::uint64_t keys_done = 0;  // kDirect mode
+  std::uint32_t poll_replies = 0;
+  std::uint64_t poll_emitted = 0, poll_received = 0;
+  std::uint64_t pbmw_next = 0;
+  std::uint32_t flush_replies = 0;
+  Tick backoff = 128;  ///< exponential re-poll delay, capped at spec.poll_backoff
+
+  void m_start(Ctx& ctx);
+  void m_lane_map_done(Ctx& ctx);
+  void m_poll_again(Ctx& ctx);
+  void m_key_returned(Ctx& ctx);
+  void m_pbmw_request(Ctx& ctx);
+  void m_poll_reply(Ctx& ctx);
+  void m_flush_done(Ctx& ctx);
+
+ private:
+  void map_phase_complete(Ctx& ctx);
+  void start_poll_round(Ctx& ctx);
+  void start_flush(Ctx& ctx);
+  void finish(Ctx& ctx);
+};
+
+struct RelayThread : ThreadState {
+  void relay(Ctx& ctx);
+};
+
+struct WorkerThread : ThreadState {
+  JobId job = 0;
+  std::uint64_t next = 0, end = 0;
+  Word master = 0;  ///< master thread event word (any label)
+  std::uint32_t inflight = 0;
+  bool waiting_grant = false;
+  bool no_more = false;
+
+  void w_start(Ctx& ctx);
+  void w_map_returned(Ctx& ctx);
+  void w_grant(Ctx& ctx);
+
+ private:
+  void pump(Ctx& ctx);
+  void maybe_finish(Ctx& ctx);
+};
+
+struct PollThread : ThreadState {
+  void p_poll(Ctx& ctx);
+};
+
+// ---------------------------------------------------------------------------
+// Library
+// ---------------------------------------------------------------------------
+
+Library& Library::install(Machine& m) {
+  if (m.has_service<Library>()) return m.service<Library>();
+  return m.add_service<Library>(m);
+}
+
+Library::Library(Machine& m) : m_(m) {
+  Program& p = m.program();
+  m_start_ = p.event("kvmsr::m_start", &MasterThread::m_start);
+  m_lane_map_done_ = p.event("kvmsr::m_lane_map_done", &MasterThread::m_lane_map_done);
+  m_key_returned_ = p.event("kvmsr::m_key_returned", &MasterThread::m_key_returned);
+  m_pbmw_request_ = p.event("kvmsr::m_pbmw_request", &MasterThread::m_pbmw_request);
+  m_poll_reply_ = p.event("kvmsr::m_poll_reply", &MasterThread::m_poll_reply);
+  m_poll_again_ = p.event("kvmsr::m_poll_again", &MasterThread::m_poll_again);
+  m_flush_done_ = p.event("kvmsr::m_flush_done", &MasterThread::m_flush_done);
+  relay_start_ = p.event("kvmsr::relay", &RelayThread::relay);
+  w_start_ = p.event("kvmsr::w_start", &WorkerThread::w_start);
+  w_map_returned_ = p.event("kvmsr::w_map_returned", &WorkerThread::w_map_returned);
+  w_grant_ = p.event("kvmsr::w_grant", &WorkerThread::w_grant);
+  p_poll_ = p.event("kvmsr::p_poll", &PollThread::p_poll);
+}
+
+JobId Library::add_job(JobSpec spec) {
+  Job j;
+  j.spec = std::move(spec);
+  j.emitted_by_lane.assign(m_.config().total_lanes(), 0);
+  j.received_by_lane.assign(m_.config().total_lanes(), 0);
+  jobs_.push_back(std::move(j));
+  return static_cast<JobId>(jobs_.size() - 1);
+}
+
+LaneSet Library::resolved_lanes(const Job& j) const {
+  LaneSet s = j.spec.lanes;
+  if (s.count == 0) {
+    s.first = 0;
+    s.count = static_cast<std::uint32_t>(m_.config().total_lanes());
+  }
+  return s;
+}
+
+NetworkId Library::reduce_lane(Job& j, Word key) const {
+  const LaneSet s = resolved_lanes(j);
+  if (j.spec.reduce_binding) return j.spec.reduce_binding(key, s.first, s.count);
+  return s.first + static_cast<NetworkId>(hash64(key) % s.count);  // Hash binding
+}
+
+void Library::launch_from_host(JobId job, std::uint64_t key_begin, std::uint64_t key_end,
+                               Word cont) {
+  const LaneSet s = resolved_lanes(jobs_.at(job));
+  m_.send_from_host(evw::make_new(s.first, m_start_), {job, key_begin, key_end}, cont);
+}
+
+void Library::launch(Ctx& ctx, JobId job, std::uint64_t key_begin, std::uint64_t key_end,
+                     Word cont) {
+  const LaneSet s = resolved_lanes(jobs_.at(job));
+  ctx.send_event(evw::make_new(s.first, m_start_), {job, key_begin, key_end}, cont);
+}
+
+const JobState& Library::run_to_completion(JobId job, std::uint64_t key_begin,
+                                           std::uint64_t key_end) {
+  launch_from_host(job, key_begin, key_end);
+  m_.run();
+  if (jobs_.at(job).state.running)
+    throw std::runtime_error("KVMSR job '" + jobs_[job].spec.name +
+                             "' did not terminate (machine went quiescent mid-job)");
+  return jobs_.at(job).state;
+}
+
+void Library::emit(Ctx& ctx, JobId job, Word key, Word v0) {
+  Job& j = jobs_.at(job);
+  const NetworkId dst = reduce_lane(j, key);
+  ctx.charge(2);  // binding hash + scratchpad emit counter
+  j.emitted_by_lane.at(ctx.nwid())++;
+  ctx.send_event(evw::make_new(dst, j.spec.kv_reduce), {key, v0, job});
+}
+
+void Library::emit2(Ctx& ctx, JobId job, Word key, Word v0, Word v1) {
+  Job& j = jobs_.at(job);
+  const NetworkId dst = reduce_lane(j, key);
+  ctx.charge(2);
+  j.emitted_by_lane.at(ctx.nwid())++;
+  ctx.send_event(evw::make_new(dst, j.spec.kv_reduce), {key, v0, v1, job});
+}
+
+void Library::map_return(Ctx& ctx, Word stored_cont) {
+  ctx.send_event(stored_cont, {});
+  ctx.yield_terminate();
+}
+
+void Library::reduce_return(Ctx& ctx, JobId job) {
+  Job& j = jobs_.at(job);
+  ctx.charge(1);  // scratchpad received counter
+  j.received_by_lane.at(ctx.nwid())++;
+  ctx.yield_terminate();
+}
+
+// ---------------------------------------------------------------------------
+// Master
+// ---------------------------------------------------------------------------
+
+void MasterThread::m_start(Ctx& ctx) {
+  Library& lib = ctx.machine().service<Library>();
+  job = static_cast<JobId>(ctx.op(0));
+  key_begin = ctx.op(1);
+  key_end = ctx.op(2);
+  cont = ctx.ccont();
+
+  Library::Job& j = lib.jobs_.at(job);
+  if (j.state.running)
+    throw std::runtime_error("KVMSR: job '" + j.spec.name + "' launched while running");
+  j.state.running = true;
+  j.state.runs++;
+  j.state.start_tick = ctx.start_time();
+  j.state.map_done_tick = j.state.done_tick = 0;
+  j.state.total_keys = key_end - key_begin;
+  j.state.total_emitted = 0;
+  j.state.poll_rounds = 0;
+  backoff = 128;
+  std::fill(j.emitted_by_lane.begin(), j.emitted_by_lane.end(), 0);
+  std::fill(j.received_by_lane.begin(), j.received_by_lane.end(), 0);
+
+  const LaneSet s = lib.resolved_lanes(j);
+
+  switch (j.spec.map_binding) {
+    case MapBinding::kBlock: {
+      // Broadcast through one relay per node (the multi-level control tree
+      // the paper's BFS artifact describes).
+      const NetworkId set_end = s.first + s.count;
+      for (std::uint32_t node = ctx.machine().node_of(s.first);
+           node <= ctx.machine().node_of(set_end - 1); ++node) {
+        const NetworkId node_first =
+            std::max<NetworkId>(s.first, ctx.machine().first_lane_of_node(node));
+        ctx.send_event(ctx.evw_new(node_first, lib.relay_start_),
+                       {job, key_begin, key_end, s.first, s.count, ctx.cevnt()});
+      }
+      break;
+    }
+    case MapBinding::kPBMW: {
+      // Partial block + master-worker: each lane starts with one chunk and
+      // asks this master for more.
+      pbmw_next = key_begin;
+      for (std::uint32_t i = 0; i < s.count; ++i) {
+        const std::uint64_t b = std::min(key_end, pbmw_next);
+        const std::uint64_t e = std::min(key_end, b + j.spec.pbmw_chunk);
+        pbmw_next = e;
+        ctx.charge(1);
+        ctx.send_event(ctx.evw_new(s.first + i, lib.w_start_), {job, b, e, ctx.cevnt()});
+      }
+      break;
+    }
+    case MapBinding::kDirect: {
+      // One map task per key, placed by the user's map_home binding. Used
+      // when tasks are few and location-sensitive (BFS per-accelerator
+      // frontier masters).
+      for (std::uint64_t k = key_begin; k < key_end; ++k) {
+        ctx.charge(1);
+        ctx.send_event(ctx.evw_new(j.spec.map_home(k), j.spec.kv_map), {k, job},
+                       ctx.evw_update_event(ctx.cevnt(), lib.m_key_returned_));
+      }
+      if (key_begin == key_end) map_phase_complete(ctx);
+      break;
+    }
+  }
+}
+
+void MasterThread::m_lane_map_done(Ctx& ctx) {
+  Library& lib = ctx.machine().service<Library>();
+  const LaneSet s = lib.resolved_lanes(lib.jobs_.at(job));
+  if (++lanes_done == s.count) map_phase_complete(ctx);
+}
+
+void MasterThread::m_key_returned(Ctx& ctx) {
+  if (++keys_done == key_end - key_begin) map_phase_complete(ctx);
+}
+
+void MasterThread::map_phase_complete(Ctx& ctx) {
+  Library& lib = ctx.machine().service<Library>();
+  Library::Job& j = lib.jobs_.at(job);
+  j.state.map_done_tick = ctx.now();
+  if (j.spec.kv_reduce != 0)
+    start_poll_round(ctx);
+  else if (j.spec.flush != 0)
+    start_flush(ctx);
+  else
+    finish(ctx);
+}
+
+void MasterThread::start_poll_round(Ctx& ctx) {
+  Library& lib = ctx.machine().service<Library>();
+  Library::Job& j = lib.jobs_.at(job);
+  const LaneSet s = lib.resolved_lanes(j);
+  poll_replies = 0;
+  poll_emitted = poll_received = 0;
+  j.state.poll_rounds++;
+  for (std::uint32_t i = 0; i < s.count; ++i) {
+    ctx.charge(1);
+    ctx.send_event(ctx.evw_new(s.first + i, lib.p_poll_), {job},
+                   ctx.evw_update_event(ctx.cevnt(), lib.m_poll_reply_));
+  }
+}
+
+void MasterThread::m_poll_reply(Ctx& ctx) {
+  Library& lib = ctx.machine().service<Library>();
+  Library::Job& j = lib.jobs_.at(job);
+  const LaneSet s = lib.resolved_lanes(j);
+  poll_emitted += ctx.op(0);
+  poll_received += ctx.op(1);
+  if (++poll_replies < s.count) return;
+  if (poll_emitted == poll_received) {
+    j.state.total_emitted = poll_emitted;
+    if (j.spec.flush != 0)
+      start_flush(ctx);
+    else
+      finish(ctx);
+  } else {
+    // Tuples are still in flight; gather again after an exponentially
+    // growing backoff, so short drains re-poll quickly while long-running
+    // reduce phases do not saturate the master lane with polling.
+    const Tick delay = std::min(backoff, j.spec.poll_backoff);
+    backoff *= 2;
+    ctx.send_event_delayed(ctx.evw_update_event(ctx.cevnt(), lib.m_poll_again_), {},
+                           IGNRCONT, delay);
+  }
+}
+
+void MasterThread::m_poll_again(Ctx& ctx) { start_poll_round(ctx); }
+
+void MasterThread::start_flush(Ctx& ctx) {
+  Library& lib = ctx.machine().service<Library>();
+  Library::Job& j = lib.jobs_.at(job);
+  const LaneSet s = lib.resolved_lanes(j);
+  flush_replies = 0;
+  for (std::uint32_t i = 0; i < s.count; ++i) {
+    ctx.charge(1);
+    ctx.send_event(ctx.evw_new(s.first + i, j.spec.flush), {job},
+                   ctx.evw_update_event(ctx.cevnt(), lib.m_flush_done_));
+  }
+}
+
+void MasterThread::m_flush_done(Ctx& ctx) {
+  Library& lib = ctx.machine().service<Library>();
+  const LaneSet s = lib.resolved_lanes(lib.jobs_.at(job));
+  if (++flush_replies == s.count) finish(ctx);
+}
+
+void MasterThread::finish(Ctx& ctx) {
+  Library& lib = ctx.machine().service<Library>();
+  Library::Job& j = lib.jobs_.at(job);
+  j.state.done_tick = ctx.now();
+  j.state.running = false;
+  if (cont != IGNRCONT) ctx.send_event(cont, {j.state.total_emitted});
+  ctx.yield_terminate();
+}
+
+void MasterThread::m_pbmw_request(Ctx& ctx) {
+  Library& lib = ctx.machine().service<Library>();
+  Library::Job& j = lib.jobs_.at(job);
+  if (pbmw_next < key_end) {
+    const std::uint64_t b = pbmw_next;
+    const std::uint64_t e = std::min(key_end, b + j.spec.pbmw_chunk);
+    pbmw_next = e;
+    ctx.charge(2);
+    ctx.send_reply({b, e, 1});
+  } else {
+    ctx.send_reply({0, 0, 0});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Relay + worker + poll agent
+// ---------------------------------------------------------------------------
+
+void RelayThread::relay(Ctx& ctx) {
+  Library& lib = ctx.machine().service<Library>();
+  const JobId job_id = static_cast<JobId>(ctx.op(0));
+  const std::uint64_t key_begin = ctx.op(1), key_end = ctx.op(2);
+  const NetworkId set_first = static_cast<NetworkId>(ctx.op(3));
+  const std::uint32_t set_count = static_cast<std::uint32_t>(ctx.op(4));
+  const Word master = ctx.op(5);
+
+  Machine& m = ctx.machine();
+  const std::uint32_t node = m.node_of(ctx.nwid());
+  const NetworkId node_first = m.first_lane_of_node(node);
+  const NetworkId node_end = node_first + m.config().lanes_per_node();
+  const NetworkId lo = std::max(set_first, node_first);
+  const NetworkId hi = std::min<NetworkId>(set_first + set_count, node_end);
+
+  const std::uint64_t total = key_end - key_begin;
+  const std::uint64_t per = ceil_div(total, set_count);
+  for (NetworkId lane = lo; lane < hi; ++lane) {
+    const std::uint64_t i = lane - set_first;
+    const std::uint64_t b = std::min(key_end, key_begin + i * per);
+    const std::uint64_t e = std::min(key_end, b + per);
+    ctx.charge(2);
+    ctx.send_event(ctx.evw_new(lane, lib.w_start_), {job_id, b, e, master});
+  }
+  ctx.yield_terminate();
+}
+
+void WorkerThread::w_start(Ctx& ctx) {
+  job = static_cast<JobId>(ctx.op(0));
+  next = ctx.op(1);
+  end = ctx.op(2);
+  master = ctx.op(3);
+  pump(ctx);
+}
+
+void WorkerThread::w_map_returned(Ctx& ctx) {
+  --inflight;
+  pump(ctx);
+}
+
+void WorkerThread::w_grant(Ctx& ctx) {
+  waiting_grant = false;
+  if (ctx.op(2) != 0) {
+    next = ctx.op(0);
+    end = ctx.op(1);
+    pump(ctx);
+  } else {
+    no_more = true;
+    maybe_finish(ctx);
+  }
+}
+
+void WorkerThread::pump(Ctx& ctx) {
+  Library& lib = ctx.machine().service<Library>();
+  Library::Job& j = lib.jobs_.at(job);
+  while (inflight < j.spec.max_inflight_per_lane && next < end) {
+    ctx.charge(1);
+    ctx.send_event(ctx.evw_new(ctx.nwid(), j.spec.kv_map), {next, job},
+                   ctx.evw_update_event(ctx.cevnt(), lib.w_map_returned_));
+    ++inflight;
+    ++next;
+  }
+  if (next >= end && j.spec.map_binding == MapBinding::kPBMW && !waiting_grant && !no_more) {
+    waiting_grant = true;
+    ctx.send_event(evw::update_event(master, lib.m_pbmw_request_), {job},
+                   ctx.evw_update_event(ctx.cevnt(), lib.w_grant_));
+    return;
+  }
+  maybe_finish(ctx);
+}
+
+void WorkerThread::maybe_finish(Ctx& ctx) {
+  Library& lib = ctx.machine().service<Library>();
+  Library::Job& j = lib.jobs_.at(job);
+  const bool exhausted =
+      next >= end && (j.spec.map_binding != MapBinding::kPBMW || no_more);
+  if (exhausted && inflight == 0 && !waiting_grant) {
+    ctx.send_event(evw::update_event(master, lib.m_lane_map_done_), {job});
+    ctx.yield_terminate();
+  }
+}
+
+void PollThread::p_poll(Ctx& ctx) {
+  Library& lib = ctx.machine().service<Library>();
+  Library::Job& j = lib.jobs_.at(static_cast<JobId>(ctx.op(0)));
+  ctx.charge(3);  // two scratchpad counter loads + reply setup
+  ctx.send_reply({j.emitted_by_lane.at(ctx.nwid()), j.received_by_lane.at(ctx.nwid())});
+  ctx.yield_terminate();
+}
+
+// ---------------------------------------------------------------------------
+
+JobId do_all(Library& lib, EventLabel kv_map, LaneSet lanes, MapBinding binding) {
+  JobSpec spec;
+  spec.kv_map = kv_map;
+  spec.kv_reduce = 0;
+  spec.lanes = lanes;
+  spec.map_binding = binding;
+  spec.name = "do_all";
+  return lib.add_job(std::move(spec));
+}
+
+}  // namespace updown::kvmsr

@@ -1,0 +1,114 @@
+#include "mem/global_memory.hpp"
+
+#include <algorithm>
+
+namespace updown {
+
+Addr GlobalMemory::dram_malloc(std::uint64_t size, std::uint32_t first_node,
+                               std::uint32_t nr_nodes, std::uint64_t block_size) {
+  if (size == 0) throw std::invalid_argument("DRAMmalloc: zero size");
+  if (!is_pow2(nr_nodes)) throw std::invalid_argument("DRAMmalloc: NRNodes must be a power of 2");
+  if (!is_pow2(block_size)) throw std::invalid_argument("DRAMmalloc: BS must be a power of 2");
+  if (first_node + nr_nodes > nodes_)
+    throw std::invalid_argument("DRAMmalloc: node range exceeds machine");
+
+  // Physical placement: every participating node reserves the same number of
+  // bytes for this region, starting at the maximum current brk across the
+  // participating nodes so a single per-region node_base works for all.
+  std::uint64_t node_base = 0;
+  for (std::uint32_t n = first_node; n < first_node + nr_nodes; ++n)
+    node_base = std::max(node_base, node_brk_[n]);
+
+  const Addr base = (va_brk_ + block_size - 1) & ~(block_size - 1);
+  SwizzleDescriptor d(base, size, first_node, nr_nodes, block_size, node_base);
+  const std::uint64_t per_node = d.bytes_per_node();
+  for (std::uint32_t n = first_node; n < first_node + nr_nodes; ++n)
+    node_brk_[n] = node_base + per_node;
+
+  descriptors_.push_back(d);
+  va_brk_ = base + size;
+  return base;
+}
+
+void GlobalMemory::dram_free(Addr base) {
+  for (auto it = descriptors_.begin(); it != descriptors_.end(); ++it) {
+    if (it->base() == base) {
+      descriptors_.erase(it);
+      return;
+    }
+  }
+  throw std::invalid_argument("dram_free: no region with that base address");
+}
+
+const SwizzleDescriptor& GlobalMemory::find(Addr va) const {
+  for (const auto& d : descriptors_)
+    if (d.contains(va)) return d;
+  throw std::out_of_range("GlobalMemory: address " + std::to_string(va) +
+                          " not covered by any translation descriptor");
+}
+
+std::uint8_t* GlobalMemory::phys_ptr(const PhysLoc& loc, std::size_t bytes) {
+  auto& mem = backing_[loc.node];
+  if (mem.size() < loc.offset + bytes) mem.resize(next_pow2(loc.offset + bytes));
+  return mem.data() + loc.offset;
+}
+
+const std::uint8_t* GlobalMemory::phys_ptr(const PhysLoc& loc, std::size_t bytes) const {
+  auto& mem = backing_[loc.node];
+  if (mem.size() < loc.offset + bytes) mem.resize(next_pow2(loc.offset + bytes));
+  return mem.data() + loc.offset;
+}
+
+Word GlobalMemory::read_word_phys(const PhysLoc& loc) const {
+  Word v;
+  std::memcpy(&v, phys_ptr(loc, sizeof(Word)), sizeof(Word));
+  return v;
+}
+
+void GlobalMemory::write_word_phys(const PhysLoc& loc, Word value) {
+  std::memcpy(phys_ptr(loc, sizeof(Word)), &value, sizeof(Word));
+}
+
+void GlobalMemory::host_write(Addr va, const void* data, std::size_t bytes) {
+  const auto* src = static_cast<const std::uint8_t*>(data);
+  std::size_t done = 0;
+  while (done < bytes) {
+    const SwizzleDescriptor& d = find(va + done);
+    const PhysLoc loc = d.translate(va + done);
+    // Stay within one distribution block (contiguous physical bytes).
+    const std::uint64_t in_block = (va + done - d.base()) & (d.block_size() - 1);
+    const std::size_t chunk =
+        std::min<std::size_t>(bytes - done, d.block_size() - in_block);
+    std::memcpy(phys_ptr(loc, chunk), src + done, chunk);
+    done += chunk;
+  }
+}
+
+void GlobalMemory::host_read(Addr va, void* out, std::size_t bytes) const {
+  auto* dst = static_cast<std::uint8_t*>(out);
+  std::size_t done = 0;
+  while (done < bytes) {
+    const SwizzleDescriptor& d = find(va + done);
+    const PhysLoc loc = d.translate(va + done);
+    const std::uint64_t in_block = (va + done - d.base()) & (d.block_size() - 1);
+    const std::size_t chunk =
+        std::min<std::size_t>(bytes - done, d.block_size() - in_block);
+    std::memcpy(dst + done, phys_ptr(loc, chunk), chunk);
+    done += chunk;
+  }
+}
+
+void GlobalMemory::host_fill(Addr va, std::uint8_t byte, std::size_t bytes) {
+  std::size_t done = 0;
+  while (done < bytes) {
+    const SwizzleDescriptor& d = find(va + done);
+    const PhysLoc loc = d.translate(va + done);
+    const std::uint64_t in_block = (va + done - d.base()) & (d.block_size() - 1);
+    const std::size_t chunk =
+        std::min<std::size_t>(bytes - done, d.block_size() - in_block);
+    std::memset(phys_ptr(loc, chunk), byte, chunk);
+    done += chunk;
+  }
+}
+
+}  // namespace updown

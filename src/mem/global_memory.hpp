@@ -1,0 +1,96 @@
+// The global shared address space: DRAMmalloc allocation, translation
+// descriptors, and the per-node physical backing store.
+//
+// DRAMmalloc (paper Section 2.4):
+//   void* DRAMmalloc(size, 1stNode, NRNodes, BS)
+// returns a contiguous virtual region laid out block-cyclically over
+// NRNodes physical node memories starting at 1stNode, in blocks of BS bytes.
+// Each allocation is encoded in a single translation descriptor; the paper
+// notes typical programs need only 2-4 descriptors.
+//
+// Host-side (TOP core) accessors read/write the backing store directly with
+// zero simulated cost: they model the data-loading phase that the paper's
+// timing methodology excludes (timings start at the first UpDown event).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+#include "mem/swizzle.hpp"
+
+namespace updown {
+
+class GlobalMemory {
+ public:
+  explicit GlobalMemory(std::uint32_t nodes)
+      : nodes_(nodes), backing_(nodes), node_brk_(nodes, 0) {}
+
+  std::uint32_t nodes() const { return nodes_; }
+
+  /// DRAMmalloc. `block_size` must be a power of two (the hardware descriptor
+  /// encodes it as a shift); `nr_nodes` a power of two with
+  /// first_node + nr_nodes <= machine nodes.
+  Addr dram_malloc(std::uint64_t size, std::uint32_t first_node, std::uint32_t nr_nodes,
+                   std::uint64_t block_size);
+
+  /// Convenience: spread an allocation over the whole machine with the given
+  /// block size (the paper's default DRAMmalloc(size, 0, NRnodes, 32KB)).
+  Addr dram_malloc_spread(std::uint64_t size, std::uint64_t block_size = 32 * 1024) {
+    return dram_malloc(size, 0, nodes_, block_size);
+  }
+
+  /// Release a region previously returned by dram_malloc. Physical node
+  /// memory is not compacted (matching a bump-allocated translation table);
+  /// the descriptor is retired so its VA range can be reused.
+  void dram_free(Addr base);
+
+  std::size_t descriptor_count() const { return descriptors_.size(); }
+  const SwizzleDescriptor& descriptor_for(Addr va) const { return find(va); }
+
+  /// Hardware translation of a virtual address.
+  PhysLoc translate(Addr va) const { return find(va).translate(va); }
+
+  // ---- Physical access (used by the DRAM timing model at service time) ----
+  Word read_word_phys(const PhysLoc& loc) const;
+  void write_word_phys(const PhysLoc& loc, Word value);
+
+  // ---- Host-side direct access (no simulated cost) -------------------------
+  void host_write(Addr va, const void* data, std::size_t bytes);
+  void host_read(Addr va, void* out, std::size_t bytes) const;
+
+  template <typename T>
+  T host_load(Addr va) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    host_read(va, &v, sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  void host_store(Addr va, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    host_write(va, &v, sizeof(T));
+  }
+
+  void host_fill(Addr va, std::uint8_t byte, std::size_t bytes);
+
+  /// Total physical bytes currently reserved on `node`.
+  std::uint64_t node_bytes(std::uint32_t node) const { return node_brk_[node]; }
+
+ private:
+  const SwizzleDescriptor& find(Addr va) const;
+  std::uint8_t* phys_ptr(const PhysLoc& loc, std::size_t bytes);
+  const std::uint8_t* phys_ptr(const PhysLoc& loc, std::size_t bytes) const;
+
+  std::uint32_t nodes_;
+  std::vector<SwizzleDescriptor> descriptors_;
+  mutable std::vector<std::vector<std::uint8_t>> backing_;  ///< grown on demand
+  std::vector<std::uint64_t> node_brk_;  ///< per-node physical bump pointer
+  Addr va_brk_ = 0x10000;                ///< VA 0 reserved (null)
+};
+
+}  // namespace updown

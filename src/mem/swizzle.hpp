@@ -1,0 +1,96 @@
+// Translation descriptors ("swizzle masks") implementing the block-cyclic
+// virtual-to-physical mapping of DRAMmalloc (paper Section 2.4, Figure 5).
+//
+// A descriptor maps one contiguous virtual region onto NRNodes physical node
+// memories: virtual block i (of `block_size` bytes) lands on node
+// first_node + (i mod NRNodes), at local offset (i div NRNodes)*block_size.
+// The paper prints a garbled formula ("PNN = size / BS / NRNodes"); we
+// implement the standard block-cyclic mapping its Figure 5 depicts, which the
+// DRAMmalloc design document [40] also describes.
+//
+// Power-of-two NRNodes and block sizes make the mapping a pure shift/mask
+// computation — this is what makes the hardware implementation free of
+// software translation overhead.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+
+namespace updown {
+
+struct PhysLoc {
+  std::uint32_t node = 0;
+  std::uint64_t offset = 0;  ///< byte offset within the node's memory
+
+  bool operator==(const PhysLoc&) const = default;
+};
+
+class SwizzleDescriptor {
+ public:
+  SwizzleDescriptor() = default;
+
+  /// @param base        first virtual address of the region
+  /// @param size        region size in bytes
+  /// @param first_node  node on which virtual block 0 is placed
+  /// @param nr_nodes    number of nodes in the cyclic distribution (power of 2)
+  /// @param block_size  distribution block size in bytes (power of 2)
+  /// @param node_base   byte offset within each node where this region's
+  ///                    physical blocks start (assigned by the allocator)
+  SwizzleDescriptor(Addr base, std::uint64_t size, std::uint32_t first_node,
+                    std::uint32_t nr_nodes, std::uint64_t block_size,
+                    std::uint64_t node_base)
+      : base_(base),
+        size_(size),
+        first_node_(first_node),
+        nr_nodes_(nr_nodes),
+        node_base_(node_base),
+        block_shift_(log2_exact(block_size)),
+        node_mask_(nr_nodes - 1) {
+    assert(is_pow2(nr_nodes));
+    assert(is_pow2(block_size));
+  }
+
+  Addr base() const { return base_; }
+  Addr end() const { return base_ + size_; }
+  std::uint64_t size() const { return size_; }
+  std::uint32_t first_node() const { return first_node_; }
+  std::uint32_t nr_nodes() const { return nr_nodes_; }
+  std::uint64_t block_size() const { return 1ull << block_shift_; }
+  std::uint64_t node_base() const { return node_base_; }
+
+  /// Bytes of physical memory this region consumes on each participating node.
+  std::uint64_t bytes_per_node() const {
+    const std::uint64_t blocks = ceil_div(size_, block_size());
+    return ceil_div(blocks, nr_nodes_) << block_shift_;
+  }
+
+  bool contains(Addr va) const { return va >= base_ && va < base_ + size_; }
+
+  /// The hardware translation: pure shift/mask block-cyclic mapping.
+  PhysLoc translate(Addr va) const {
+    assert(contains(va));
+    const std::uint64_t off = va - base_;
+    const std::uint64_t block = off >> block_shift_;
+    const std::uint64_t in_block = off & (block_size() - 1);
+    PhysLoc loc;
+    loc.node = first_node_ + static_cast<std::uint32_t>(block & node_mask_);
+    loc.offset = node_base_ + ((block >> log2_exact(static_cast<std::uint64_t>(nr_nodes_)))
+                               << block_shift_) +
+                 in_block;
+    return loc;
+  }
+
+ private:
+  Addr base_ = 0;
+  std::uint64_t size_ = 0;
+  std::uint32_t first_node_ = 0;
+  std::uint32_t nr_nodes_ = 1;
+  std::uint64_t node_base_ = 0;
+  unsigned block_shift_ = 12;
+  std::uint64_t node_mask_ = 0;
+};
+
+}  // namespace updown

@@ -1,0 +1,78 @@
+// Machine configuration: topology and the latency/bandwidth model.
+//
+// Defaults reproduce the *ratios* of the UpDown system described in the
+// paper's Section 3 (local:remote access latency about 7:1, node DRAM
+// bandwidth 9.4 TB/s vs 4 TB/s injection, 0.5us cross-machine latency at a
+// 2 GHz lane clock), scaled down in lane count so that a single host core can
+// simulate multi-node configurations.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace updown {
+
+struct MachineConfig {
+  // ---- Topology -----------------------------------------------------------
+  std::uint32_t nodes = 1;            ///< power of two; paper machine: 16384
+  std::uint32_t accels_per_node = 4;  ///< paper: 32
+  std::uint32_t lanes_per_accel = 8;  ///< paper: 64
+  std::uint32_t max_threads_per_lane = 1u << 14;
+  std::uint64_t scratchpad_bytes = 64 * KiB;
+
+  // ---- Latency model (cycles at 2 GHz) -------------------------------------
+  Tick lat_same_lane = 2;     ///< self-send (event to own lane)
+  Tick lat_intra_accel = 4;   ///< lane-to-lane within an accelerator
+  Tick lat_intra_node = 30;   ///< accelerator-to-accelerator within a node
+  Tick lat_hop = 320;         ///< per network hop; 3 hops ~ 0.5us (paper)
+  Tick lat_dram = 140;        ///< HBM3e access latency
+
+  // ---- Bandwidth model (bytes per cycle) -----------------------------------
+  double bw_dram_node = 4700.0;        ///< 9.4 TB/s per node HBM
+  double bw_inject_node = 2000.0;      ///< 4 TB/s node injection
+  double bw_bisection_per_node = 1000.0;  ///< 32 PB/s over 16K nodes
+
+  // ---- Message format -------------------------------------------------------
+  std::uint32_t msg_header_bytes = 16;  ///< event word + continuation word
+  std::uint32_t max_msg_operands = 8;   ///< DRAM responses carry 8 words
+
+  // ---- Derived --------------------------------------------------------------
+  std::uint32_t lanes_per_node() const { return accels_per_node * lanes_per_accel; }
+  std::uint64_t total_lanes() const {
+    return static_cast<std::uint64_t>(nodes) * lanes_per_node();
+  }
+  double bisection_bytes_per_cycle() const { return bw_bisection_per_node * nodes; }
+
+  /// A configuration with the paper's full per-node shape (32 accelerators of
+  /// 64 lanes = 2048 lanes/node). Only usable for small node counts on a
+  /// development host.
+  static MachineConfig paper_node(std::uint32_t n_nodes) {
+    MachineConfig c;
+    c.nodes = n_nodes;
+    c.accels_per_node = 32;
+    c.lanes_per_accel = 64;
+    return c;
+  }
+
+  /// Scaled configuration used by the benchmark harness: preserves the
+  /// node/accelerator/lane hierarchy and all latency/bandwidth ratios, but
+  /// with fewer lanes per node so that 64-node sweeps simulate quickly.
+  static MachineConfig scaled(std::uint32_t n_nodes, std::uint32_t accels = 4,
+                              std::uint32_t lanes = 8) {
+    MachineConfig c;
+    c.nodes = n_nodes;
+    c.accels_per_node = accels;
+    c.lanes_per_accel = lanes;
+    return c;
+  }
+
+  bool valid() const {
+    return is_pow2(nodes) && accels_per_node > 0 && lanes_per_accel > 0 &&
+           total_lanes() <= (1ull << 32);
+  }
+};
+
+}  // namespace updown

@@ -1,0 +1,37 @@
+// Per-node DRAM (HBM3e) timing model: a fixed access latency plus a
+// bandwidth-limited service queue. This mirrors the paper's Fastsim, which
+// pairs instruction-level lane simulation with "streamlined capacity and
+// latency models for DRAM".
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/config.hpp"
+
+namespace updown {
+
+class DramModel {
+ public:
+  explicit DramModel(const MachineConfig& cfg) : cfg_(cfg), next_free_(cfg.nodes, 0.0) {}
+
+  /// Time at which the data for an access of `bytes`, arriving at node
+  /// `node`'s controller at `arrive`, is available (service + access latency).
+  Tick service(Tick arrive, std::uint32_t node, std::uint32_t bytes) {
+    double& free = next_free_[node];
+    const double start = std::max(static_cast<double>(arrive), free);
+    free = start + bytes / cfg_.bw_dram_node;
+    return static_cast<Tick>(std::ceil(free)) + cfg_.lat_dram;
+  }
+
+  void reset() { std::fill(next_free_.begin(), next_free_.end(), 0.0); }
+
+ private:
+  const MachineConfig& cfg_;
+  std::vector<double> next_free_;  ///< per-node controller next-free time
+};
+
+}  // namespace updown

@@ -1,0 +1,71 @@
+// The 64-bit event word: the architectural name of a task.
+//
+// Per the paper (Section 2.1.1): "An event executes in a computation
+// location, called a lane and identifiable by a network ID, and has a thread
+// context ID. Static properties include the number of operands and the event
+// label ... Altogether, they form a 64-bit value called the event word."
+//
+// Layout (bit 0 = LSB):
+//   [63:32] networkID   (global lane index)
+//   [31:16] thread context ID
+//   [15:4]  event label (index into the Program registry; 4095 events max)
+//   [3:1]   operand count hint
+//   [0]     new-thread flag (1 => allocate a fresh thread context on arrival)
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace updown {
+
+/// Continuation sentinel: "ignore continuation" (no reply expected).
+constexpr Word IGNRCONT = 0;
+
+namespace evw {
+
+constexpr Word kNewThreadFlag = 1ull;
+constexpr unsigned kLabelShift = 4;
+constexpr unsigned kTidShift = 16;
+constexpr unsigned kNwidShift = 32;
+constexpr Word kLabelMask = 0xFFF;
+constexpr Word kTidMask = 0xFFFF;
+
+/// Build an event word that spawns a *new* thread on lane `nwid`.
+constexpr Word make_new(NetworkId nwid, EventLabel label, unsigned nops = 0) {
+  return (static_cast<Word>(nwid) << kNwidShift) |
+         ((static_cast<Word>(label) & kLabelMask) << kLabelShift) |
+         ((static_cast<Word>(nops) & 0x7) << 1) | kNewThreadFlag;
+}
+
+/// Build an event word addressing an *existing* thread context.
+constexpr Word make_existing(NetworkId nwid, ThreadId tid, EventLabel label,
+                             unsigned nops = 0) {
+  return (static_cast<Word>(nwid) << kNwidShift) |
+         ((static_cast<Word>(tid) & kTidMask) << kTidShift) |
+         ((static_cast<Word>(label) & kLabelMask) << kLabelShift) |
+         ((static_cast<Word>(nops) & 0x7) << 1);
+}
+
+constexpr NetworkId nwid(Word w) { return static_cast<NetworkId>(w >> kNwidShift); }
+constexpr ThreadId tid(Word w) { return static_cast<ThreadId>((w >> kTidShift) & kTidMask); }
+constexpr EventLabel label(Word w) {
+  return static_cast<EventLabel>((w >> kLabelShift) & kLabelMask);
+}
+constexpr bool is_new_thread(Word w) { return (w & kNewThreadFlag) != 0; }
+
+/// The paper's evw_update_event intrinsic: change only the event label,
+/// keeping networkID / thread context (and flags) unchanged.
+constexpr Word update_event(Word w, EventLabel new_label) {
+  return (w & ~(kLabelMask << kLabelShift)) |
+         ((static_cast<Word>(new_label) & kLabelMask) << kLabelShift);
+}
+
+/// Retarget an event word at a different lane, keeping label and tid.
+constexpr Word update_nwid(Word w, NetworkId new_nwid) {
+  return (w & 0xFFFFFFFFull) | (static_cast<Word>(new_nwid) << kNwidShift);
+}
+
+}  // namespace evw
+}  // namespace updown

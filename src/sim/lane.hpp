@@ -1,0 +1,82 @@
+// A lane: one of the machine's 2 GHz MIMD compute engines. A lane executes
+// one event at a time (events are atomic), owns a table of thread contexts
+// and a scratchpad memory, and tracks its busy time for utilization and
+// load-balance statistics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/stats.hpp"
+#include "udweave/thread.hpp"
+
+namespace updown {
+
+class Lane {
+ public:
+  Lane(std::uint32_t max_threads, std::uint64_t scratchpad_bytes)
+      : max_threads_(max_threads), scratchpad_(scratchpad_bytes, 0) {}
+
+  Tick free_at = 0;
+  LaneStats stats;
+
+  // ---- Thread contexts ------------------------------------------------------
+  ThreadId allocate_thread(std::unique_ptr<ThreadState> state) {
+    ThreadId tid;
+    if (!free_tids_.empty()) {
+      tid = free_tids_.back();
+      free_tids_.pop_back();
+    } else {
+      if (threads_.size() >= max_threads_)
+        throw std::runtime_error("lane out of thread contexts");
+      threads_.emplace_back();
+      tid = static_cast<ThreadId>(threads_.size() - 1);
+    }
+    threads_[tid] = std::move(state);
+    ++live_threads_;
+    return tid;
+  }
+
+  ThreadState& thread(ThreadId tid) {
+    if (tid >= threads_.size() || !threads_[tid])
+      throw std::runtime_error("event addressed a dead thread context");
+    return *threads_[tid];
+  }
+
+  void deallocate_thread(ThreadId tid) {
+    threads_.at(tid).reset();
+    free_tids_.push_back(tid);
+    --live_threads_;
+  }
+
+  std::uint32_t live_threads() const { return live_threads_; }
+
+  // ---- Scratchpad (lane-private; paper: 64 lanes can pool within an
+  // accelerator, pooling is done in software via messages) -------------------
+  std::uint8_t* scratchpad() { return scratchpad_.data(); }
+  std::uint64_t scratchpad_bytes() const { return scratchpad_.size(); }
+
+  /// spMalloc: bump allocation in the lane scratchpad.
+  std::uint64_t sp_alloc(std::uint64_t bytes, std::uint64_t align = 8) {
+    std::uint64_t off = (sp_brk_ + align - 1) & ~(align - 1);
+    if (off + bytes > scratchpad_.size())
+      throw std::runtime_error("spMalloc: lane scratchpad exhausted");
+    sp_brk_ = off + bytes;
+    return off;
+  }
+  std::uint64_t sp_mark() const { return sp_brk_; }
+  void sp_release(std::uint64_t mark) { sp_brk_ = mark; }
+
+ private:
+  std::uint32_t max_threads_;
+  std::vector<std::unique_ptr<ThreadState>> threads_;
+  std::vector<ThreadId> free_tids_;
+  std::uint32_t live_threads_ = 0;
+  std::vector<std::uint8_t> scratchpad_;
+  std::uint64_t sp_brk_ = 0;
+};
+
+}  // namespace updown

@@ -1,0 +1,163 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "udweave/context.hpp"
+
+namespace updown {
+
+Machine::Machine(MachineConfig cfg)
+    : cfg_(cfg), memory_(cfg.nodes), network_(cfg_), dram_(cfg_) {
+  if (!cfg_.valid()) throw std::invalid_argument("Machine: invalid configuration");
+  lanes_.reserve(cfg_.total_lanes());
+  for (std::uint64_t i = 0; i < cfg_.total_lanes(); ++i)
+    lanes_.push_back(std::make_unique<Lane>(cfg_.max_threads_per_lane, cfg_.scratchpad_bytes));
+}
+
+void Machine::send_from_host(Word event_word, std::initializer_list<Word> ops, Word cont) {
+  send_from_host(event_word, ops.begin(), ops.size(), cont);
+}
+
+void Machine::send_from_host(Word event_word, const Word* ops, std::size_t nops, Word cont) {
+  Message m;
+  m.evw = event_word;
+  m.cont = cont;
+  m.nops = static_cast<std::uint8_t>(nops);
+  for (std::size_t i = 0; i < nops; ++i) m.ops[i] = ops[i];
+  m.src = first_lane_of_node(0);  // the TOP core is attached to node 0
+  route_message(std::move(m), now_);
+}
+
+void Machine::push(QItem&& item) {
+  item.seq = seq_++;
+  queue_.push(std::move(item));
+}
+
+void Machine::route_message(Message&& m, Tick depart) {
+  const NetworkId dst = evw::nwid(m.evw);
+  if (dst >= lanes_.size())
+    throw std::out_of_range("send_event: networkID beyond machine lanes");
+  const std::uint32_t bytes = m.payload_bytes(cfg_.msg_header_bytes);
+  const Tick arrive = network_.arrival(depart, m.src, dst, bytes);
+  stats_.messages_sent++;
+  stats_.message_bytes += bytes;
+  if (node_of(m.src) != node_of(dst)) stats_.cross_node_messages++;
+  QItem item;
+  item.t = arrive;
+  item.kind = QItem::kMsg;
+  item.msg = std::move(m);
+  push(std::move(item));
+}
+
+void Machine::route_dram(DramRequest&& r, Tick depart) {
+  const PhysLoc loc = memory_.translate(r.addr);
+  const std::uint32_t req_bytes =
+      cfg_.msg_header_bytes + (r.is_write ? r.nwords * 8u : 0u);
+  const Tick arrive =
+      network_.arrival(depart, r.src, first_lane_of_node(loc.node), req_bytes);
+  if (node_of(r.src) != loc.node) stats_.remote_dram_accesses++;
+  QItem item;
+  item.t = arrive;
+  item.kind = QItem::kDram;
+  item.dram = std::move(r);
+  push(std::move(item));
+}
+
+void Machine::exec_message(Message& m, Tick arrive) {
+  const NetworkId dst = evw::nwid(m.evw);
+  Lane& lane = *lanes_[dst];
+  const Tick start = std::max(arrive, lane.free_at);
+  const EventLabel label = evw::label(m.evw);
+  const EventDef& def = program_.def(label);
+
+  ThreadId tid;
+  if (evw::is_new_thread(m.evw)) {
+    tid = lane.allocate_thread(def.factory());  // Thread Create: 0 cycles
+    stats_.threads_created++;
+    std::uint64_t live = 0;
+    // Tracking exact global live counts cheaply: maintain incrementally.
+    live = ++live_threads_;
+    if (live > stats_.max_live_threads) stats_.max_live_threads = live;
+  } else {
+    tid = evw::tid(m.evw);
+  }
+  ThreadState& state = lane.thread(tid);
+  if (std::type_index(typeid(state)) != def.type)
+    throw std::runtime_error("event '" + def.name + "' delivered to a thread of another class");
+
+  const Word cevnt = evw::make_existing(dst, tid, label, m.nops);
+  Logger::log(LogLevel::kDebug, start, "[NWID %u][TID %u] %s (%u ops)", dst, tid,
+              def.name.c_str(), m.nops);
+  Ctx ctx(*this, m, start, tid, cevnt, state);
+  def.invoke(ctx, state);
+
+  const std::uint64_t cost = ctx.charged() + 1;  // +1: Thread Yield at return
+  lane.free_at = start + cost;
+  lane.stats.busy_cycles += cost;
+  lane.stats.events_executed++;
+  stats_.events_executed++;
+  stats_.charged_cycles += cost;
+  if (ctx.terminated()) {
+    lane.deallocate_thread(tid);
+    stats_.threads_destroyed++;
+    --live_threads_;
+  }
+  if (lane.free_at > now_) now_ = lane.free_at;
+}
+
+void Machine::exec_dram(DramRequest& r, Tick arrive) {
+  const PhysLoc first = memory_.translate(r.addr);
+  const std::uint32_t data_bytes = r.nwords * 8u + cfg_.msg_header_bytes;
+  const Tick ready = dram_.service(arrive, first.node, data_bytes);
+
+  if (r.is_write) {
+    for (unsigned i = 0; i < r.nwords; ++i)
+      memory_.write_word_phys(memory_.translate(r.addr + 8ull * i), r.data[i]);
+    stats_.dram_writes++;
+  } else {
+    for (unsigned i = 0; i < r.nwords; ++i)
+      r.data[i] = memory_.read_word_phys(memory_.translate(r.addr + 8ull * i));
+    stats_.dram_reads++;
+  }
+  stats_.dram_bytes += r.nwords * 8u;
+
+  if (r.reply_evw != 0) {
+    Message resp;
+    resp.evw = r.reply_evw;
+    resp.cont = r.reply_cont;
+    resp.nops = r.is_write ? 0 : r.nwords;
+    if (!r.is_write) resp.ops = r.data;
+    resp.src = first_lane_of_node(first.node);
+    route_message(std::move(resp), ready);
+  }
+  if (ready > now_) now_ = ready;
+}
+
+bool Machine::step() {
+  if (queue_.empty()) return false;
+  QItem item = queue_.top();
+  queue_.pop();
+  if (item.t > now_) now_ = item.t;
+  if (item.kind == QItem::kMsg)
+    exec_message(item.msg, item.t);
+  else
+    exec_dram(item.dram, item.t);
+  return true;
+}
+
+void Machine::run() {
+  while (step()) {
+  }
+}
+
+std::vector<LaneStats> Machine::lane_stats() const {
+  std::vector<LaneStats> out;
+  out.reserve(lanes_.size());
+  for (const auto& l : lanes_) out.push_back(l->stats);
+  return out;
+}
+
+LaneActivity Machine::lane_activity() const { return LaneActivity::from(lane_stats()); }
+
+}  // namespace updown

@@ -1,0 +1,153 @@
+// The UpDown machine: nodes of accelerators of lanes, a global address
+// space, and the discrete-event engine that executes UDWeave events.
+//
+// This is the repository's "Fastsim" equivalent: events are C++ handlers
+// that charge cycle costs through the intrinsic API (paper Table 2), while
+// DRAM and the network use streamlined latency/bandwidth models — the same
+// modeling split the paper describes for Fastsim.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/global_memory.hpp"
+#include "sim/config.hpp"
+#include "sim/dram.hpp"
+#include "sim/lane.hpp"
+#include "sim/message.hpp"
+#include "sim/network.hpp"
+#include "sim/stats.hpp"
+#include "udweave/thread.hpp"
+
+namespace updown {
+
+class Ctx;
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg);
+
+  const MachineConfig& config() const { return cfg_; }
+  Program& program() { return program_; }
+  GlobalMemory& memory() { return memory_; }
+  const GlobalMemory& memory() const { return memory_; }
+
+  // ---- Topology / computation-location naming ------------------------------
+  NetworkId nwid_of(std::uint32_t node, std::uint32_t accel, std::uint32_t lane) const {
+    return node * cfg_.lanes_per_node() + accel * cfg_.lanes_per_accel + lane;
+  }
+  std::uint32_t node_of(NetworkId nwid) const { return nwid / cfg_.lanes_per_node(); }
+  std::uint32_t accel_of(NetworkId nwid) const {
+    return (nwid % cfg_.lanes_per_node()) / cfg_.lanes_per_accel;
+  }
+  std::uint32_t lane_in_accel(NetworkId nwid) const { return nwid % cfg_.lanes_per_accel; }
+  NetworkId first_lane_of_node(std::uint32_t node) const {
+    return node * cfg_.lanes_per_node();
+  }
+  Lane& lane(NetworkId nwid) { return *lanes_.at(nwid); }
+
+  // ---- Host (TOP core) interface --------------------------------------------
+  /// Inject an event from the host; it is delivered to the target lane with
+  /// intra-node latency from node 0.
+  void send_from_host(Word event_word, std::initializer_list<Word> ops,
+                      Word cont = IGNRCONT);
+  void send_from_host(Word event_word, const Word* ops, std::size_t nops,
+                      Word cont = IGNRCONT);
+
+  /// Run the simulation until the event queue drains (quiescence).
+  void run();
+  /// Execute a single queued item; returns false when the queue is empty.
+  bool step();
+  bool idle() const { return queue_.empty(); }
+
+  Tick now() const { return now_; }
+
+  // ---- Statistics ------------------------------------------------------------
+  MachineStats& stats() { return stats_; }
+  const MachineStats& stats() const { return stats_; }
+  std::vector<LaneStats> lane_stats() const;
+  LaneActivity lane_activity() const;
+
+  // ---- Application payload ---------------------------------------------------
+  /// Applications stash a context object (labels, base addresses, result
+  /// fields) here so that event handlers can reach it; the analog of global
+  /// program state in a real UDWeave binary.
+  template <typename T, typename... Args>
+  T& emplace_user(Args&&... args) {
+    user_ = std::make_shared<T>(std::forward<Args>(args)...);
+    user_ptr_ = user_.get();
+    return *static_cast<T*>(user_ptr_);
+  }
+  template <typename T>
+  T& user() {
+    return *static_cast<T*>(user_ptr_);
+  }
+
+  /// Library services (KVMSR, SHT, ...) register themselves here, keyed by
+  /// type, so their event handlers can find their state without going
+  /// through the application's user struct.
+  template <typename T, typename... Args>
+  T& add_service(Args&&... args) {
+    auto ptr = std::make_shared<T>(std::forward<Args>(args)...);
+    T& ref = *ptr;
+    services_[std::type_index(typeid(T))] = std::move(ptr);
+    return ref;
+  }
+  template <typename T>
+  T& service() {
+    auto it = services_.find(std::type_index(typeid(T)));
+    if (it == services_.end())
+      throw std::logic_error("Machine: service not registered: " + std::string(typeid(T).name()));
+    return *static_cast<T*>(it->second.get());
+  }
+  template <typename T>
+  bool has_service() const {
+    return services_.count(std::type_index(typeid(T))) > 0;
+  }
+
+ private:
+  friend class Ctx;
+
+  struct QItem {
+    Tick t;
+    std::uint64_t seq;
+    enum Kind : std::uint8_t { kMsg, kDram } kind;
+    Message msg;
+    DramRequest dram;
+  };
+  struct QItemGreater {
+    bool operator()(const QItem& a, const QItem& b) const {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  // Internal send paths, used by Ctx and by the host interface.
+  void route_message(Message&& m, Tick depart);
+  void route_dram(DramRequest&& r, Tick depart);
+  void exec_message(Message& m, Tick arrive);
+  void exec_dram(DramRequest& r, Tick arrive);
+  void push(QItem&& item);
+
+  MachineConfig cfg_;
+  Program program_;
+  GlobalMemory memory_;
+  NetworkModel network_;
+  DramModel dram_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::priority_queue<QItem, std::vector<QItem>, QItemGreater> queue_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t live_threads_ = 0;
+  Tick now_ = 0;
+  MachineStats stats_;
+  std::shared_ptr<void> user_;
+  void* user_ptr_ = nullptr;
+  std::unordered_map<std::type_index, std::shared_ptr<void>> services_;
+};
+
+}  // namespace updown

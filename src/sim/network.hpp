@@ -1,0 +1,86 @@
+// Network timing model.
+//
+// The real UpDown machine uses a PolarStar diameter-3 topology [Lakhotia et
+// al.]. The evaluation only exercises (a) the 1-3 hop latency profile,
+// (b) per-node injection bandwidth, and (c) bisection bandwidth, so we model
+// exactly those: a three-level hierarchical grouping assigns each node pair a
+// hop distance in {1,2,3}, and token-bucket "next free time" counters model
+// injection and bisection bandwidth contention.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "sim/config.hpp"
+
+namespace updown {
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(const MachineConfig& cfg)
+      : cfg_(cfg), inject_free_(cfg.nodes, 0.0), bisection_free_(0.0) {
+    // Pick group shifts so that nodes are split into ~cube-root-sized tiers:
+    // same L1 group => 1 hop, same L2 group => 2 hops, else 3 hops.
+    const unsigned bits = cfg.nodes > 1 ? log2_exact(next_pow2(cfg.nodes)) : 0;
+    l1_shift_ = bits / 3;
+    l2_shift_ = (2 * bits) / 3;
+    if (l1_shift_ == 0 && bits > 0) l1_shift_ = 1;
+    if (l2_shift_ <= l1_shift_) l2_shift_ = l1_shift_ + 1;
+  }
+
+  unsigned hops(std::uint32_t node_a, std::uint32_t node_b) const {
+    if (node_a == node_b) return 0;
+    if ((node_a >> l1_shift_) == (node_b >> l1_shift_)) return 1;
+    if ((node_a >> l2_shift_) == (node_b >> l2_shift_)) return 2;
+    return 3;
+  }
+
+  bool crosses_bisection(std::uint32_t node_a, std::uint32_t node_b) const {
+    const std::uint32_t half = cfg_.nodes / 2;
+    return half > 0 && (node_a < half) != (node_b < half);
+  }
+
+  /// Latency and bandwidth-queued arrival time of a message of `bytes` sent
+  /// at `depart` from lane `src` to lane `dst` (both global lane ids).
+  Tick arrival(Tick depart, NetworkId src, NetworkId dst, std::uint32_t bytes) {
+    const std::uint32_t lpn = cfg_.lanes_per_node();
+    const std::uint32_t node_s = src / lpn;
+    const std::uint32_t node_d = dst / lpn;
+    if (node_s == node_d) {
+      if (src == dst) return depart + cfg_.lat_same_lane;
+      const std::uint32_t accel_s = src / cfg_.lanes_per_accel;
+      const std::uint32_t accel_d = dst / cfg_.lanes_per_accel;
+      return depart + (accel_s == accel_d ? cfg_.lat_intra_accel : cfg_.lat_intra_node);
+    }
+    // Cross-node: injection token bucket at the source node, optional
+    // bisection bucket, then per-hop latency.
+    double t = static_cast<double>(depart);
+    double& inj = inject_free_[node_s];
+    const double inj_start = std::max(t, inj);
+    inj = inj_start + bytes / cfg_.bw_inject_node;
+    t = inj;
+    if (crosses_bisection(node_s, node_d)) {
+      const double start = std::max(t, bisection_free_);
+      bisection_free_ = start + bytes / cfg_.bisection_bytes_per_cycle();
+      t = bisection_free_;
+    }
+    const Tick lat = cfg_.lat_intra_node + cfg_.lat_hop * hops(node_s, node_d);
+    return static_cast<Tick>(std::ceil(t)) + lat;
+  }
+
+  void reset() {
+    std::fill(inject_free_.begin(), inject_free_.end(), 0.0);
+    bisection_free_ = 0.0;
+  }
+
+ private:
+  const MachineConfig& cfg_;
+  std::vector<double> inject_free_;  ///< per-node injection next-free time
+  double bisection_free_;
+  unsigned l1_shift_ = 0, l2_shift_ = 1;
+};
+
+}  // namespace updown

@@ -1,0 +1,65 @@
+// Machine-wide and per-lane statistics.
+//
+// These counters are the raw material for every benchmark table: events and
+// cycles give the simulated runtimes, message/DRAM counters give the traffic
+// breakdowns, and per-lane busy cycles give utilization and load-imbalance
+// numbers (the paper's "extremely good load balance over millions of lanes").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace updown {
+
+struct LaneStats {
+  Tick busy_cycles = 0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t messages_sent = 0;
+};
+
+struct MachineStats {
+  std::uint64_t events_executed = 0;
+  std::uint64_t charged_cycles = 0;  ///< total lane-busy cycles across the run
+  std::uint64_t messages_sent = 0;
+  std::uint64_t message_bytes = 0;
+  std::uint64_t cross_node_messages = 0;
+  std::uint64_t dram_reads = 0;
+  std::uint64_t dram_writes = 0;
+  std::uint64_t dram_bytes = 0;
+  std::uint64_t remote_dram_accesses = 0;  ///< request crossed node boundary
+  std::uint64_t threads_created = 0;
+  std::uint64_t threads_destroyed = 0;
+  std::uint64_t max_live_threads = 0;
+
+  void reset() { *this = MachineStats{}; }
+};
+
+/// Aggregate view over per-lane activity.
+struct LaneActivity {
+  double mean_busy = 0.0;
+  Tick max_busy = 0;
+  Tick min_busy = 0;
+
+  /// Load imbalance factor: max lane busy-time over mean busy-time. A
+  /// perfectly balanced run has factor 1.0.
+  double imbalance() const { return mean_busy > 0 ? max_busy / mean_busy : 0.0; }
+
+  static LaneActivity from(const std::vector<LaneStats>& lanes) {
+    LaneActivity a;
+    if (lanes.empty()) return a;
+    Tick total = 0;
+    a.min_busy = lanes.front().busy_cycles;
+    for (const auto& l : lanes) {
+      total += l.busy_cycles;
+      a.max_busy = std::max(a.max_busy, l.busy_cycles);
+      a.min_busy = std::min(a.min_busy, l.busy_cycles);
+    }
+    a.mean_busy = static_cast<double>(total) / static_cast<double>(lanes.size());
+    return a;
+  }
+};
+
+}  // namespace updown

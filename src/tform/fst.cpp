@@ -1,0 +1,64 @@
+#include "tform/fst.hpp"
+
+#include <stdexcept>
+
+namespace updown::tform {
+
+Fst Fst::csv() {
+  Fst f;
+  // State 0: inside a field (start of record/field). State 1: padding run
+  // (spaces) before a terminator.
+  f.table_.resize(2);
+  for (unsigned s = 0; s < 2; ++s)
+    for (unsigned c = 0; c < 256; ++c) f.table_[s][c] = {0, kError};
+  for (unsigned c = '0'; c <= '9'; ++c) f.table_[0][c] = {0, kAccumulate};
+  f.table_[0][','] = {0, kEndField};
+  f.table_[0]['\n'] = {0, kEndRecord};
+  f.table_[0][' '] = {1, kNone};
+  f.table_[1][' '] = {1, kNone};
+  f.table_[1]['\n'] = {0, kEndRecord};
+  f.table_[1][','] = {0, kEndField};
+  return f;
+}
+
+std::size_t Fst::run(std::span<const std::uint8_t> bytes, Cursor& cur,
+                     const RecordFn& on_record) const {
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    const Transition t = table_[cur.state][bytes[i]];
+    switch (t.action) {
+      case kNone:
+        break;
+      case kAccumulate:
+        cur.current = cur.current * 10 + (bytes[i] - '0');
+        cur.mid_record = true;
+        break;
+      case kEndField:
+        cur.fields.push_back(cur.current);
+        cur.current = 0;
+        cur.mid_record = true;
+        break;
+      case kEndRecord:
+        cur.fields.push_back(cur.current);
+        cur.current = 0;
+        on_record(cur.fields);
+        cur.fields.clear();
+        cur.mid_record = false;
+        break;
+      case kError:
+        throw std::runtime_error("tform: unexpected byte " + std::to_string(bytes[i]) +
+                                 " at offset " + std::to_string(i));
+    }
+    cur.state = t.next;
+  }
+  return bytes.size();
+}
+
+std::vector<std::vector<Word>> Fst::parse_all(std::string_view text) const {
+  std::vector<std::vector<Word>> records;
+  Cursor cur;
+  run({reinterpret_cast<const std::uint8_t*>(text.data()), text.size()}, cur,
+      [&](const std::vector<Word>& fields) { records.push_back(fields); });
+  return records;
+}
+
+}  // namespace updown::tform

@@ -1,0 +1,32 @@
+#include "tform/stream_gen.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace updown::tform {
+
+RecordStream make_stream(std::uint64_t n_records, std::uint64_t n_vertices,
+                         std::uint64_t n_types, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  RecordStream out;
+  out.bytes.reserve(n_records * kRecordBytes);
+  out.records.reserve(n_records);
+  for (std::uint64_t i = 0; i < n_records; ++i) {
+    EdgeRecord r;
+    r.src = rng.below(n_vertices);
+    r.dst = rng.below(n_vertices);
+    r.type = 1 + rng.below(n_types);
+    out.records.push_back(r);
+    std::string line = std::to_string(r.src) + ',' + std::to_string(r.dst) + ',' +
+                       std::to_string(r.type);
+    if (line.size() >= kRecordBytes)
+      throw std::logic_error("record encoding exceeds 64 bytes");
+    line.append(kRecordBytes - 1 - line.size(), ' ');
+    line.push_back('\n');
+    out.bytes += line;
+  }
+  return out;
+}
+
+}  // namespace updown::tform

@@ -1,0 +1,32 @@
+// Synthetic record-stream generator standing in for the AGILE WF2 CSV
+// datasets ("data <m>" with size multipliers). Each record is exactly 64
+// bytes — the paper: "Each record is 64 bytes, so 1200 GigaRecords/second is
+// 76.8 TB/s" — encoding a <src, dst, type> edge as space-padded CSV.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace updown::tform {
+
+constexpr std::size_t kRecordBytes = 64;
+
+struct EdgeRecord {
+  Word src = 0, dst = 0, type = 0;
+  bool operator==(const EdgeRecord&) const = default;
+};
+
+struct RecordStream {
+  std::string bytes;                ///< n_records * 64 bytes of CSV text
+  std::vector<EdgeRecord> records;  ///< ground truth
+};
+
+/// Generate `n_records` random edge records over `n_vertices` vertices with
+/// `n_types` edge types.
+RecordStream make_stream(std::uint64_t n_records, std::uint64_t n_vertices = 4096,
+                         std::uint64_t n_types = 8, std::uint64_t seed = 1);
+
+}  // namespace updown::tform

@@ -1,0 +1,86 @@
+// UDWeave threads and events, as a C++ embedded DSL.
+//
+// A UDWeave `thread` is a C++ class deriving from ThreadState; its `event`s
+// are member functions taking a Ctx&. Events execute atomically on a lane
+// (no races on thread state, per paper Section 2.1.1); thread-scope variables
+// are simply data members, preserved across events.
+//
+// The Program registry assigns each event a small integer label — the
+// paper's "event label, the address of the event in the program" — which is
+// packed into event words.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <typeindex>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace updown {
+
+class Ctx;
+
+/// Base class for all UDWeave thread state.
+struct ThreadState {
+  virtual ~ThreadState() = default;
+};
+
+struct EventDef {
+  std::string name;
+  std::function<std::unique_ptr<ThreadState>()> factory;
+  std::function<void(Ctx&, ThreadState&)> invoke;
+  std::type_index type;
+};
+
+/// Registry of all events in a loaded UpDown program. Labels are stable for
+/// the lifetime of the Machine; libraries (KVMSR, SHT, ...) register their
+/// events once at construction and cache the labels.
+class Program {
+ public:
+  Program() {
+    // Label 0 is reserved so that IGNRCONT (the all-zero word) can never be
+    // confused with a valid continuation event word.
+    defs_.push_back(EventDef{"<invalid>", nullptr, nullptr, std::type_index(typeid(void))});
+  }
+
+  /// Register `fn` as the handler for event `name` of thread class T.
+  template <class T>
+  EventLabel event(std::string name, void (T::*fn)(Ctx&)) {
+    static_assert(std::is_base_of_v<ThreadState, T>,
+                  "UDWeave thread classes must derive from ThreadState");
+    if (defs_.size() >= 4096)
+      throw std::length_error("Program: event label space (12 bits) exhausted");
+    EventDef def{std::move(name), []() -> std::unique_ptr<ThreadState> {
+                   return std::make_unique<T>();
+                 },
+                 [fn](Ctx& ctx, ThreadState& st) { (static_cast<T&>(st).*fn)(ctx); },
+                 std::type_index(typeid(T))};
+    defs_.push_back(std::move(def));
+    return static_cast<EventLabel>(defs_.size() - 1);
+  }
+
+  const EventDef& def(EventLabel label) const {
+    if (label == 0 || label >= defs_.size())
+      throw std::out_of_range("Program: invalid event label " + std::to_string(label));
+    return defs_[label];
+  }
+
+  /// Look an event up by name (setup-time convenience; O(n)).
+  EventLabel label(std::string_view name) const {
+    for (std::size_t i = 1; i < defs_.size(); ++i)
+      if (defs_[i].name == name) return static_cast<EventLabel>(i);
+    throw std::out_of_range("Program: no event named '" + std::string(name) + "'");
+  }
+
+  std::size_t size() const { return defs_.size() - 1; }
+
+ private:
+  std::vector<EventDef> defs_;
+};
+
+}  // namespace updown

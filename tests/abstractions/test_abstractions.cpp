@@ -1,0 +1,190 @@
+// ParallelGraph, SHMEM, and GlobalSort over the simulated machine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "abstractions/global_sort.hpp"
+#include "abstractions/parallel_graph.hpp"
+#include "abstractions/shmem.hpp"
+#include "common/rng.hpp"
+
+namespace updown {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ParallelGraph: stream edges in from a driver, verify contents host-side.
+// ---------------------------------------------------------------------------
+struct PgScript {
+  std::vector<std::array<Word, 3>> edges;  // {src, dst, type}
+  EventLabel start = 0, next = 0;
+  Tick done_at = 0;
+};
+
+struct PgDriver : ThreadState {
+  std::size_t i = 0;
+  void d_start(Ctx& ctx) { issue(ctx); }
+  void d_next(Ctx& ctx) { issue(ctx); }
+
+ private:
+  void issue(Ctx& ctx) {
+    auto& s = ctx.machine().user<PgScript>();
+    if (i >= s.edges.size()) {
+      s.done_at = ctx.now();
+      ctx.yield_terminate();
+      return;
+    }
+    const auto& e = s.edges[i++];
+    ctx.machine().service<pgraph::ParallelGraph>().insert_edge(
+        ctx, e[0], e[1], e[2], ctx.evw_update_event(ctx.cevnt(), s.next));
+  }
+};
+
+TEST(ParallelGraph, StreamedEdgesAreQueryable) {
+  Machine m(MachineConfig::scaled(4));
+  auto& pg = pgraph::ParallelGraph::install(m);
+  auto& s = m.emplace_user<PgScript>();
+  s.start = m.program().event("PgDriver::d_start", &PgDriver::d_start);
+  s.next = m.program().event("PgDriver::d_next", &PgDriver::d_next);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 200; ++i)
+    s.edges.push_back({rng.below(50), rng.below(50), 1 + rng.below(5)});
+
+  m.send_from_host(evw::make_new(0, s.start), {});
+  m.run();
+
+  EXPECT_GT(s.done_at, 0u);
+  for (const auto& e : s.edges) {
+    Word type = 0;
+    ASSERT_TRUE(pg.host_has_edge(e[0], e[1], &type));
+    EXPECT_TRUE(pg.host_has_vertex(e[0]));
+    EXPECT_TRUE(pg.host_has_vertex(e[1]));
+  }
+  EXPECT_FALSE(pg.host_has_edge(999, 998));
+}
+
+TEST(ParallelGraph, VertexDegreeCountsOutEdges) {
+  Machine m(MachineConfig::scaled(2));
+  auto& pg = pgraph::ParallelGraph::install(m);
+  auto& s = m.emplace_user<PgScript>();
+  s.start = m.program().event("PgDriver::d_start", &PgDriver::d_start);
+  s.next = m.program().event("PgDriver::d_next", &PgDriver::d_next);
+  s.edges = {{1, 2, 7}, {1, 3, 7}, {1, 4, 7}, {2, 1, 7}};
+  m.send_from_host(evw::make_new(0, s.start), {});
+  m.run();
+  Word deg = 0;
+  ASSERT_TRUE(pg.host_has_vertex(1, &deg));
+  EXPECT_EQ(deg, 3u);
+  ASSERT_TRUE(pg.host_has_vertex(4, &deg));
+  EXPECT_EQ(deg, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SHMEM: put/get and all-reduce collectives.
+// ---------------------------------------------------------------------------
+struct ShmemApp {
+  shmem::TeamId team = 0;
+  Addr cell = 0;
+  EventLabel member = 0, released = 0, got = 0;
+  std::vector<Word> sums;
+  Word fetched = 0;
+};
+
+struct ShmemMember : ThreadState {
+  void m_start(Ctx& ctx) {
+    auto& app = ctx.machine().user<ShmemApp>();
+    auto& sh = ctx.machine().service<shmem::Shmem>();
+    // Contribute this lane's id + 1 to the team sum.
+    sh.all_reduce_add(ctx, app.team, ctx.nwid() + 1,
+                      ctx.evw_update_event(ctx.cevnt(), app.released));
+  }
+  void m_released(Ctx& ctx) {
+    auto& app = ctx.machine().user<ShmemApp>();
+    app.sums.push_back(ctx.op(0));
+    if (ctx.nwid() == 0) {
+      // Member 0 then puts the sum into a global cell and reads it back.
+      auto& sh = ctx.machine().service<shmem::Shmem>();
+      sh.put(ctx, app.cell, ctx.op(0), ctx.evw_update_event(ctx.cevnt(), app.got));
+    } else {
+      ctx.yield_terminate();
+    }
+  }
+  void m_got(Ctx& ctx) {
+    auto& app = ctx.machine().user<ShmemApp>();
+    auto& sh = ctx.machine().service<shmem::Shmem>();
+    if (app.fetched == 0) {
+      app.fetched = 1;
+      sh.get(ctx, app.cell, ctx.evw_update_event(ctx.cevnt(), app.got));
+    } else {
+      app.fetched = ctx.op(0);
+      ctx.yield_terminate();
+    }
+  }
+};
+
+TEST(Shmem, AllReduceThenPutGet) {
+  Machine m(MachineConfig::scaled(2));
+  auto& sh = shmem::Shmem::install(m);
+  auto& app = m.emplace_user<ShmemApp>();
+  const std::uint32_t members = 16;
+  app.team = sh.create_team(0, members);
+  app.cell = m.memory().dram_malloc_spread(64, 4096);
+  app.member = m.program().event("ShmemMember::m_start", &ShmemMember::m_start);
+  app.released = m.program().event("ShmemMember::m_released", &ShmemMember::m_released);
+  app.got = m.program().event("ShmemMember::m_got", &ShmemMember::m_got);
+
+  for (NetworkId l = 0; l < members; ++l)
+    m.send_from_host(evw::make_new(l, app.member), {});
+  m.run();
+
+  const Word expect = members * (members + 1) / 2;  // sum of lane+1
+  ASSERT_EQ(app.sums.size(), members);
+  for (Word s : app.sums) EXPECT_EQ(s, expect);
+  EXPECT_EQ(app.fetched, expect);  // put then get round-tripped through DRAM
+  EXPECT_EQ(m.memory().host_load<Word>(app.cell), expect);
+}
+
+TEST(Shmem, BarrierReleasesEveryone) {
+  Machine m(MachineConfig::scaled(1));
+  auto& sh = shmem::Shmem::install(m);
+  EXPECT_THROW(sh.create_team(0, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// GlobalSort.
+// ---------------------------------------------------------------------------
+class GlobalSortTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GlobalSortTest, SortsRandomSequences) {
+  Machine m(MachineConfig::scaled(2));
+  auto& gs = gsort::GlobalSort::install(m);
+  const std::uint64_t n = GetParam();
+  Addr input = m.memory().dram_malloc_spread(std::max<std::uint64_t>(8, n * 8), 4096);
+  Xoshiro256 rng(n);
+  std::vector<Word> data(n);
+  for (auto& v : data) v = rng() >> 16;  // 48-bit keys
+  m.memory().host_write(input, data.data(), n * 8);
+
+  auto r = gs.sort(input, n, 48);
+  EXPECT_GT(r.done_tick, r.start_tick);
+
+  auto sorted = gs.host_read_sorted();
+  std::sort(data.begin(), data.end());
+  EXPECT_EQ(sorted, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GlobalSortTest, ::testing::Values(1, 8, 100, 1000, 5000));
+
+TEST(GlobalSort, AlreadySortedAndDuplicates) {
+  Machine m(MachineConfig::scaled(1));
+  auto& gs = gsort::GlobalSort::install(m);
+  std::vector<Word> data = {5, 5, 5, 1, 1, 2, 2, 2, 2, 0};
+  Addr input = m.memory().dram_malloc_spread(data.size() * 8, 4096);
+  m.memory().host_write(input, data.data(), data.size() * 8);
+  gs.sort(input, data.size(), 8);
+  auto sorted = gs.host_read_sorted();
+  std::sort(data.begin(), data.end());
+  EXPECT_EQ(sorted, data);
+}
+
+}  // namespace
+}  // namespace updown

@@ -1,0 +1,91 @@
+// SHMEM collectives: barrier generation reuse, multiple teams, remote
+// coordinator placement.
+#include <gtest/gtest.h>
+
+#include "abstractions/shmem.hpp"
+
+namespace updown::shmem {
+namespace {
+
+struct GenApp {
+  TeamId team = 0;
+  unsigned rounds = 3;
+  EventLabel member = 0, released = 0;
+  std::vector<Word> sums_seen;
+};
+
+// Each member re-arrives at the barrier `rounds` times; generations must not
+// bleed into each other.
+struct GenMember : ThreadState {
+  unsigned round = 0;
+
+  void start(Ctx& ctx) { arrive(ctx); }
+
+  void released(Ctx& ctx) {
+    auto& app = ctx.machine().user<GenApp>();
+    app.sums_seen.push_back(ctx.op(0));
+    if (++round < app.rounds)
+      arrive(ctx);
+    else
+      ctx.yield_terminate();
+  }
+
+ private:
+  void arrive(Ctx& ctx) {
+    auto& app = ctx.machine().user<GenApp>();
+    auto& sh = ctx.machine().service<Shmem>();
+    // Contribute (round+1) so each generation has a distinct expected sum.
+    sh.all_reduce_add(ctx, app.team, round + 1,
+                      ctx.evw_update_event(ctx.cevnt(), app.released));
+  }
+};
+
+TEST(ShmemCollectives, BarrierGenerationsDoNotBleed) {
+  Machine m(MachineConfig::scaled(2));
+  auto& sh = Shmem::install(m);
+  auto& app = m.emplace_user<GenApp>();
+  const std::uint32_t members = 8;
+  app.team = sh.create_team(/*coordinator=*/m.first_lane_of_node(1), members);
+  app.member = m.program().event("GenMember::start", &GenMember::start);
+  app.released = m.program().event("GenMember::released", &GenMember::released);
+
+  for (NetworkId l = 0; l < members; ++l)
+    m.send_from_host(evw::make_new(l * 3, app.member), {});
+  m.run();
+
+  ASSERT_EQ(app.sums_seen.size(), members * app.rounds);
+  // Every member must see sum = members * (round+1) for its round. Rounds
+  // are globally ordered because a member cannot re-arrive before release.
+  std::map<Word, unsigned> counts;
+  for (Word s : app.sums_seen) counts[s]++;
+  EXPECT_EQ(counts[members * 1], members);
+  EXPECT_EQ(counts[members * 2], members);
+  EXPECT_EQ(counts[members * 3], members);
+}
+
+TEST(ShmemCollectives, IndependentTeams) {
+  Machine m(MachineConfig::scaled(1));
+  auto& sh = Shmem::install(m);
+  auto& app = m.emplace_user<GenApp>();
+  app.rounds = 1;
+  const TeamId a = sh.create_team(0, 4);
+  const TeamId b = sh.create_team(5, 2);
+  app.member = m.program().event("GenMember::start", &GenMember::start);
+  app.released = m.program().event("GenMember::released", &GenMember::released);
+
+  app.team = a;
+  for (NetworkId l = 0; l < 4; ++l) m.send_from_host(evw::make_new(l, app.member), {});
+  m.run();
+  EXPECT_EQ(app.sums_seen.size(), 4u);
+  for (Word s : app.sums_seen) EXPECT_EQ(s, 4u);
+
+  app.sums_seen.clear();
+  app.team = b;
+  for (NetworkId l = 10; l < 12; ++l) m.send_from_host(evw::make_new(l, app.member), {});
+  m.run();
+  EXPECT_EQ(app.sums_seen.size(), 2u);
+  for (Word s : app.sums_seen) EXPECT_EQ(s, 2u);
+}
+
+}  // namespace
+}  // namespace updown::shmem

@@ -1,0 +1,160 @@
+// Scalable hash table: insert/upsert/lookup through simulated messages and
+// DRAM, verified against a host-side mirror.
+#include "abstractions/sht.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+
+namespace updown::sht {
+namespace {
+
+// A driver thread that executes a scripted op sequence with one op in flight
+// (results recorded in the app struct for assertions).
+struct ShtScript {
+  struct Op {
+    enum Kind { kInsert, kUpsert, kLookup } kind;
+    Word key, value;
+  };
+  TableId table = 0;
+  std::vector<Op> ops;
+  std::vector<std::pair<Word, Word>> replies;  // (status/found, value)
+  EventLabel start = 0, reply = 0;
+};
+
+struct ShtDriver : ThreadState {
+  std::size_t next = 0;
+
+  void d_start(Ctx& ctx) { issue(ctx); }
+
+  void d_reply(Ctx& ctx) {
+    auto& s = ctx.machine().user<ShtScript>();
+    s.replies.emplace_back(ctx.op(0), ctx.nops() > 1 ? ctx.op(1) : 0);
+    issue(ctx);
+  }
+
+ private:
+  void issue(Ctx& ctx) {
+    auto& s = ctx.machine().user<ShtScript>();
+    auto& reg = ctx.machine().service<Registry>();
+    if (next >= s.ops.size()) {
+      ctx.yield_terminate();
+      return;
+    }
+    const auto& op = s.ops[next++];
+    const Word cont = ctx.evw_update_event(ctx.cevnt(), s.reply);
+    switch (op.kind) {
+      case ShtScript::Op::kInsert:
+        reg.insert(ctx, s.table, op.key, op.value, cont);
+        break;
+      case ShtScript::Op::kUpsert:
+        reg.upsert_add(ctx, s.table, op.key, op.value, cont);
+        break;
+      case ShtScript::Op::kLookup:
+        reg.lookup(ctx, s.table, op.key, cont);
+        break;
+    }
+  }
+};
+
+class ShtTest : public ::testing::Test {
+ protected:
+  void run_script(std::uint32_t nodes, TableConfig cfg) {
+    m_ = std::make_unique<Machine>(MachineConfig::scaled(nodes));
+    auto& reg = Registry::install(*m_);
+    script_ = &m_->emplace_user<ShtScript>();
+    script_->table = reg.create(cfg);
+    script_->start = m_->program().event("ShtDriver::d_start", &ShtDriver::d_start);
+    script_->reply = m_->program().event("ShtDriver::d_reply", &ShtDriver::d_reply);
+  }
+  void go() {
+    m_->send_from_host(evw::make_new(0, script_->start), {});
+    m_->run();
+  }
+  std::unique_ptr<Machine> m_;
+  ShtScript* script_ = nullptr;
+};
+
+TEST_F(ShtTest, InsertLookupRoundTrip) {
+  run_script(2, {});
+  using Op = ShtScript::Op;
+  script_->ops = {{Op::kInsert, 42, 1000}, {Op::kLookup, 42, 0}, {Op::kLookup, 43, 0}};
+  go();
+  ASSERT_EQ(script_->replies.size(), 3u);
+  EXPECT_EQ(script_->replies[0].first, kInserted);
+  EXPECT_EQ(script_->replies[1].first, 1u);      // found
+  EXPECT_EQ(script_->replies[1].second, 1000u);  // value
+  EXPECT_EQ(script_->replies[2].first, 0u);      // missing
+}
+
+TEST_F(ShtTest, InsertOverwrites) {
+  run_script(1, {});
+  using Op = ShtScript::Op;
+  script_->ops = {{Op::kInsert, 7, 1}, {Op::kInsert, 7, 2}, {Op::kLookup, 7, 0}};
+  go();
+  EXPECT_EQ(script_->replies[1].first, kUpdated);
+  EXPECT_EQ(script_->replies[2].second, 2u);
+}
+
+TEST_F(ShtTest, UpsertAccumulates) {
+  run_script(2, {});
+  using Op = ShtScript::Op;
+  script_->ops = {{Op::kUpsert, 5, 10}, {Op::kUpsert, 5, 32}, {Op::kLookup, 5, 0}};
+  go();
+  EXPECT_EQ(script_->replies[0].first, kInserted);
+  EXPECT_EQ(script_->replies[1].first, kUpdated);
+  EXPECT_EQ(script_->replies[1].second, 42u);
+  EXPECT_EQ(script_->replies[2].second, 42u);
+}
+
+TEST_F(ShtTest, FillsUpAndReportsFull) {
+  TableConfig tiny;
+  tiny.buckets_per_lane = 1;
+  tiny.entries_per_bucket = 2;
+  tiny.lanes = {0, 1};  // single owner lane: capacity 2
+  run_script(1, tiny);
+  using Op = ShtScript::Op;
+  script_->ops = {{Op::kInsert, 1, 1}, {Op::kInsert, 2, 2}, {Op::kInsert, 3, 3}};
+  go();
+  EXPECT_EQ(script_->replies[0].first, kInserted);
+  EXPECT_EQ(script_->replies[1].first, kInserted);
+  EXPECT_EQ(script_->replies[2].first, kFull);
+}
+
+TEST_F(ShtTest, RandomWorkloadMatchesStdMap) {
+  run_script(4, {});
+  using Op = ShtScript::Op;
+  Xoshiro256 rng(77);
+  std::map<Word, Word> mirror;
+  for (int i = 0; i < 400; ++i) {
+    const Word key = rng.below(64);
+    const Word delta = rng.below(100);
+    script_->ops.push_back({Op::kUpsert, key, delta});
+    mirror[key] += delta;
+  }
+  go();
+  auto& reg = m_->service<Registry>();
+  EXPECT_EQ(reg.size(script_->table), mirror.size());
+  for (const auto& [key, value] : mirror) {
+    Word got = 0;
+    ASSERT_TRUE(reg.host_lookup(script_->table, key, &got)) << "key " << key;
+    EXPECT_EQ(got, value) << "key " << key;
+  }
+}
+
+TEST_F(ShtTest, EntriesLandInDramOnOwnerNode) {
+  run_script(4, {});
+  using Op = ShtScript::Op;
+  script_->ops = {{Op::kInsert, 1234, 9}};
+  go();
+  auto& reg = m_->service<Registry>();
+  Word v = 0;
+  EXPECT_TRUE(reg.host_lookup(script_->table, 1234, &v));
+  EXPECT_EQ(v, 9u);
+  EXPECT_GT(m_->stats().dram_writes, 0u);
+}
+
+}  // namespace
+}  // namespace updown::sht

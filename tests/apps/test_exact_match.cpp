@@ -1,0 +1,65 @@
+// Exact Match over an ingested graph, vs the host-side oracle.
+#include "apps/exact_match.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/ingestion.hpp"
+#include "common/rng.hpp"
+
+namespace updown::ematch {
+namespace {
+
+TEST(ExactMatch, CountsPresentTriplesOnly) {
+  Machine m(MachineConfig::scaled(2));
+  ingest::App& ing = ingest::App::install(m, {});
+  tform::RecordStream s = tform::make_stream(300, 64, 3, 31);
+  ing.run(s.bytes);
+
+  // Query batch: half real records, half perturbed ones.
+  std::vector<tform::EdgeRecord> queries;
+  Xoshiro256 rng(9);
+  for (std::size_t i = 0; i < s.records.size(); i += 2) {
+    queries.push_back(s.records[i]);  // present
+    tform::EdgeRecord fake = s.records[i];
+    fake.dst = 1000 + rng.below(1000);  // absent vertex
+    queries.push_back(fake);
+  }
+
+  App& app = App::install(m);  // takes over the user slot after ingestion
+  Result r = app.run(queries);
+  EXPECT_EQ(r.queries, queries.size());
+  EXPECT_EQ(r.matches, app.oracle_matches(queries));
+  // Most real records match; a few (src,dst) pairs recur in the stream with
+  // a different type and the later insert overwrites the earlier one.
+  EXPECT_GE(r.matches, queries.size() * 2 / 5);
+  EXPECT_GT(r.done_tick, r.start_tick);
+}
+
+TEST(ExactMatch, WrongTypeDoesNotMatch) {
+  Machine m(MachineConfig::scaled(1));
+  ingest::App& ing = ingest::App::install(m, {});
+  tform::RecordStream s = tform::make_stream(20, 16, 2, 3);
+  ing.run(s.bytes);
+
+  std::vector<tform::EdgeRecord> queries;
+  for (auto q : s.records) {
+    q.type = q.type == 1 ? 2 : 1;  // flip the type
+    queries.push_back(q);
+  }
+  App& app = App::install(m);
+  Result r = app.run(queries);
+  EXPECT_EQ(r.matches, app.oracle_matches(queries));
+}
+
+TEST(ExactMatch, EmptyBatch) {
+  Machine m(MachineConfig::scaled(1));
+  ingest::App& ing = ingest::App::install(m, {});
+  ing.run(tform::make_stream(10).bytes);
+  App& app = App::install(m);
+  Result r = app.run({});
+  EXPECT_EQ(r.queries, 0u);
+  EXPECT_EQ(r.matches, 0u);
+}
+
+}  // namespace
+}  // namespace updown::ematch

@@ -1,0 +1,70 @@
+// GNN feature aggregation vs a direct host-side computation.
+#include "apps/gnn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace updown::gnn {
+namespace {
+
+std::vector<double> random_features(VertexId n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> f(n * kDims);
+  for (auto& x : f) x = rng.uniform();
+  return f;
+}
+
+std::vector<double> oracle(const Graph& g, const std::vector<double>& f) {
+  std::vector<double> out(g.num_vertices() * kDims, 0.0);
+  for (VertexId u = 0; u < g.num_vertices(); ++u)
+    for (VertexId v : g.neighbors_of(u))
+      for (unsigned d = 0; d < kDims; ++d) out[v * kDims + d] += f[u * kDims + d];
+  return out;
+}
+
+void expect_matches(const Graph& g, std::uint32_t nodes, std::uint64_t seed) {
+  Machine m(MachineConfig::scaled(nodes));
+  DeviceGraph dg = upload_graph(m, g);
+  auto features = random_features(g.num_vertices(), seed);
+  Result r = App::install(m, dg, features).run();
+  const auto expect = oracle(g, features);
+  ASSERT_EQ(r.aggregated.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i)
+    EXPECT_NEAR(r.aggregated[i], expect[i], 1e-9) << "slot " << i;
+  EXPECT_GT(r.done_tick, r.start_tick);
+}
+
+TEST(Gnn, AggregatesOnRmat) { expect_matches(rmat(7), 2, 1); }
+
+TEST(Gnn, AggregatesOnSymmetricGraph) { expect_matches(rmat(7, {.symmetrize = true}, 3), 4, 2); }
+
+TEST(Gnn, IsolatedVerticesStayZero) {
+  Graph g = Graph::from_edges(6, {{0, 1}, {1, 2}});
+  Machine m(MachineConfig::scaled(1));
+  DeviceGraph dg = upload_graph(m, g);
+  auto features = random_features(6, 5);
+  Result r = App::install(m, dg, features).run();
+  for (unsigned d = 0; d < kDims; ++d) {
+    EXPECT_DOUBLE_EQ(r.aggregated[5 * kDims + d], 0.0);
+    EXPECT_NEAR(r.aggregated[1 * kDims + d], features[0 * kDims + d], 1e-12);
+  }
+}
+
+TEST(Gnn, RejectsWrongFeatureShape) {
+  Machine m(MachineConfig::scaled(1));
+  DeviceGraph dg = upload_graph(m, path_graph(4));
+  EXPECT_THROW(App::install(m, dg, std::vector<double>(3)), std::invalid_argument);
+}
+
+class GnnShapes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(GnnShapes, OracleHoldsAcrossMachineSizes) {
+  expect_matches(erdos_renyi(7, 6, 2), GetParam(), 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, GnnShapes, ::testing::Values(1u, 2u, 8u));
+
+}  // namespace
+}  // namespace updown::gnn

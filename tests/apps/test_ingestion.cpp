@@ -1,0 +1,65 @@
+// Ingestion: parse a record stream through KVMSR+TFORM into the parallel
+// graph, verify every record landed, including block-spanning ones.
+#include "apps/ingestion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tform/stream_gen.hpp"
+
+namespace updown::ingest {
+namespace {
+
+void expect_ingests(std::uint32_t nodes, std::uint64_t n_records, std::uint64_t block_bytes) {
+  Machine m(MachineConfig::scaled(nodes));
+  Options opt;
+  opt.block_bytes = block_bytes;
+  App& app = App::install(m, opt);
+  tform::RecordStream s = tform::make_stream(n_records, 500, 4, nodes * 31 + n_records);
+  Result r = app.run(s.bytes);
+
+  EXPECT_EQ(r.records, n_records);
+  EXPECT_GT(r.done_tick, r.start_tick);
+  for (const auto& rec : s.records) {
+    EXPECT_TRUE(app.graph().host_has_edge(rec.src, rec.dst))
+        << rec.src << "->" << rec.dst;
+    EXPECT_TRUE(app.graph().host_has_vertex(rec.src));
+    EXPECT_TRUE(app.graph().host_has_vertex(rec.dst));
+  }
+}
+
+TEST(Ingestion, BlockAlignedRecords) { expect_ingests(2, 200, 64 * 16); }
+
+TEST(Ingestion, RecordsSpanBlockBoundaries) {
+  // 1000-byte blocks vs 64-byte records: most blocks split a record.
+  expect_ingests(2, 300, 1000);
+}
+
+TEST(Ingestion, TinyBlocksSmallerThanARecord) { expect_ingests(1, 50, 48); }
+
+TEST(Ingestion, SingleBlockWholeStream) { expect_ingests(1, 30, 1 << 20); }
+
+class IngestShapes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(IngestShapes, AllRecordsLandAcrossMachineSizes) {
+  expect_ingests(GetParam(), 400, 1000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, IngestShapes, ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(Ingestion, ThroughputScalesWithNodes) {
+  // Enough blocks that every lane of the 8-node machine has several map
+  // tasks (the strong-scaling regime; tiny streams are latency-floor bound).
+  tform::RecordStream s = tform::make_stream(20000, 4000, 4, 5);
+  Tick t1 = 0, t8 = 0;
+  for (std::uint32_t nodes : {1u, 8u}) {
+    Machine m(MachineConfig::scaled(nodes));
+    App& app = App::install(m, {});
+    Result r = app.run(s.bytes);
+    EXPECT_EQ(r.records, 20000u);
+    (nodes == 1 ? t1 : t8) = r.duration();
+  }
+  EXPECT_LT(t8 * 2, t1);
+}
+
+}  // namespace
+}  // namespace updown::ingest

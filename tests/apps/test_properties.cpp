@@ -1,0 +1,107 @@
+// Cross-cutting property tests: invariants that must hold over parameter
+// sweeps (damping factors, machine shapes, block sizes, seeds).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/ingestion.hpp"
+#include "apps/pagerank.hpp"
+#include "baseline/baseline.hpp"
+#include "graph/generators.hpp"
+#include "tform/stream_gen.hpp"
+
+namespace updown {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PageRank invariants across damping factors.
+// ---------------------------------------------------------------------------
+class PrDamping : public ::testing::TestWithParam<double> {};
+
+TEST_P(PrDamping, MatchesOracleAndMassIsBounded) {
+  const double d = GetParam();
+  Graph g = rmat(8, {.symmetrize = true}, 4);
+  SplitGraph sg = split_vertices(g, 32);
+  Machine m(MachineConfig::scaled(2));
+  DeviceGraph dg = upload_split_graph(m, sg);
+  pr::Options opt;
+  opt.iterations = 3;
+  opt.damping = d;
+  pr::Result r = pr::App::install(m, dg, sg, opt).run();
+
+  const auto oracle = baseline::pagerank(g, 3, d);
+  double sum = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(r.rank[v], oracle[v], 1e-9);
+    EXPECT_GE(r.rank[v], 0.0);
+    sum += r.rank[v];
+  }
+  EXPECT_LE(sum, 1.0 + 1e-9);  // push PR never creates mass
+  EXPECT_GT(sum, (1.0 - d) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Damping, PrDamping, ::testing::Values(0.0, 0.5, 0.85, 0.99));
+
+// ---------------------------------------------------------------------------
+// Ingestion invariants across block sizes: every record lands exactly once,
+// whatever the block/record alignment.
+// ---------------------------------------------------------------------------
+class IngestBlocks : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IngestBlocks, RecordCountExactForAnyBlockSize) {
+  Machine m(MachineConfig::scaled(2));
+  ingest::Options opt;
+  opt.block_bytes = GetParam();
+  ingest::App& app = ingest::App::install(m, opt);
+  tform::RecordStream s = tform::make_stream(150, 300, 4, GetParam());
+  ingest::Result r = app.run(s.bytes);
+  EXPECT_EQ(r.records, 150u);
+  for (const auto& rec : s.records)
+    EXPECT_TRUE(app.graph().host_has_edge(rec.src, rec.dst));
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, IngestBlocks,
+                         ::testing::Values(48, 63, 64, 65, 100, 128, 1000, 4096, 100000));
+
+// ---------------------------------------------------------------------------
+// Machine-shape sweep: the same PR computation is exact on tall/wide/flat
+// machine shapes (varying the accelerator/lane split at fixed lane count).
+// ---------------------------------------------------------------------------
+class PrShapesGrid
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(PrShapesGrid, ShapeDoesNotAffectCorrectness) {
+  const auto [accels, lanes] = GetParam();
+  Graph g = rmat(7, {}, 6);
+  SplitGraph sg = split_vertices(g, 16);
+  Machine m(MachineConfig::scaled(2, accels, lanes));
+  DeviceGraph dg = upload_split_graph(m, sg);
+  pr::Result r = pr::App::install(m, dg, sg, {.iterations = 2}).run();
+  const auto oracle = baseline::pagerank(g, 2);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) EXPECT_NEAR(r.rank[v], oracle[v], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PrShapesGrid,
+                         ::testing::Values(std::make_tuple(1u, 16u), std::make_tuple(2u, 8u),
+                                           std::make_tuple(8u, 2u), std::make_tuple(16u, 1u)));
+
+// ---------------------------------------------------------------------------
+// Simulated time is invariant to host-side conditions (two identical runs)
+// but strictly ordered by machine capability (fewer lanes never run faster
+// on a compute-bound job).
+// ---------------------------------------------------------------------------
+TEST(Monotonicity, MoreLanesNeverSlowerOnComputeBoundJob) {
+  Graph g = rmat(11, {}, 2);
+  SplitGraph sg = split_vertices(g, 64);
+  Tick prev = ~0ull;
+  for (std::uint32_t lanes : {2u, 8u, 32u}) {
+    Machine m(MachineConfig::scaled(1, 4, lanes / 4 ? lanes / 4 : 1));
+    DeviceGraph dg = upload_split_graph(m, sg);
+    pr::Result r = pr::App::install(m, dg, sg, {.iterations = 1}).run();
+    EXPECT_LE(r.duration(), prev) << lanes << " lanes";
+    prev = r.duration();
+  }
+}
+
+}  // namespace
+}  // namespace updown

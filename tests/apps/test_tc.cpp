@@ -1,0 +1,79 @@
+// Simulated Triangle Counting vs the CPU oracle.
+#include "apps/tc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.hpp"
+#include "graph/generators.hpp"
+
+namespace updown::tc {
+namespace {
+
+std::uint64_t run_tc(const Graph& g, std::uint32_t nodes,
+                     kvmsr::MapBinding binding = kvmsr::MapBinding::kBlock) {
+  Machine m(MachineConfig::scaled(nodes));
+  DeviceGraph dg = upload_graph(m, g);
+  Result r = App::install(m, dg, {.map_binding = binding}).run();
+  EXPECT_GT(r.done_tick, r.start_tick);
+  return r.triangles;
+}
+
+TEST(Tc, CompleteGraphs) {
+  EXPECT_EQ(run_tc(complete_graph(4), 1), 4u);
+  EXPECT_EQ(run_tc(complete_graph(8), 2), 56u);
+  EXPECT_EQ(run_tc(complete_graph(12), 4), 220u);
+}
+
+TEST(Tc, TriangleFreeGraphs) {
+  EXPECT_EQ(run_tc(path_graph(64), 2), 0u);
+  EXPECT_EQ(run_tc(star_graph(64), 2), 0u);
+}
+
+TEST(Tc, MatchesOracleOnRmat) {
+  Graph g = rmat(8, {.symmetrize = true});
+  EXPECT_EQ(run_tc(g, 2), baseline::triangle_count(g));
+}
+
+TEST(Tc, MatchesOracleOnForestFire) {
+  Graph g = forest_fire(400);
+  EXPECT_EQ(run_tc(g, 4), baseline::triangle_count(g));
+}
+
+TEST(Tc, PbmwBindingMatchesBlock) {
+  Graph g = rmat(8, {.symmetrize = true}, 9);
+  const std::uint64_t expect = baseline::triangle_count(g);
+  EXPECT_EQ(run_tc(g, 2, kvmsr::MapBinding::kBlock), expect);
+  EXPECT_EQ(run_tc(g, 2, kvmsr::MapBinding::kPBMW), expect);
+}
+
+TEST(Tc, PairsEqualHalfTheEdges) {
+  Graph g = erdos_renyi(8, 8, 4, /*symmetrize=*/true);
+  Machine m(MachineConfig::scaled(2));
+  DeviceGraph dg = upload_graph(m, g);
+  Result r = App::install(m, dg, {}).run();
+  EXPECT_EQ(r.pairs, g.num_edges() / 2);
+}
+
+class TcShapes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TcShapes, OracleHoldsAcrossMachineSizes) {
+  Graph g = erdos_renyi(8, 6, 31, /*symmetrize=*/true);
+  EXPECT_EQ(run_tc(g, GetParam()), baseline::triangle_count(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, TcShapes, ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(Tc, StrongScaling) {
+  Graph g = rmat(12, {.symmetrize = true});
+  Tick t1 = 0, t8 = 0;
+  for (std::uint32_t nodes : {1u, 8u}) {
+    Machine m(MachineConfig::scaled(nodes));
+    DeviceGraph dg = upload_graph(m, g);
+    Result r = App::install(m, dg, {}).run();
+    (nodes == 1 ? t1 : t8) = r.duration();
+  }
+  EXPECT_LT(t8 * 2, t1);
+}
+
+}  // namespace
+}  // namespace updown::tc

@@ -1,0 +1,91 @@
+#include "baseline/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+
+namespace updown {
+namespace {
+
+TEST(BaselinePageRank, UniformOnRegularGraph) {
+  // On a complete graph every vertex has the same rank.
+  Graph g = complete_graph(8);
+  auto pr = baseline::pagerank(g, 20);
+  for (double v : pr) EXPECT_NEAR(v, 1.0 / 8, 1e-9);
+}
+
+TEST(BaselinePageRank, SumStaysNearOneWithoutDanglingVertices) {
+  Graph g = rmat(8, {.symmetrize = true});
+  auto pr = baseline::pagerank(g, 10);
+  // Symmetric RMAT still has isolated vertices (no in/out edges); they hold
+  // (1-d)/N each, the rest redistributes — total stays <= 1 and > 0.8.
+  const double sum = std::accumulate(pr.begin(), pr.end(), 0.0);
+  EXPECT_GT(sum, 0.5);
+  EXPECT_LE(sum, 1.0 + 1e-9);
+}
+
+TEST(BaselinePageRank, HubOutranksLeaves) {
+  Graph g = star_graph(32);  // all leaves point at hub and back
+  auto pr = baseline::pagerank(g, 30);
+  for (VertexId leaf = 1; leaf <= 32; ++leaf) EXPECT_GT(pr[0], pr[leaf]);
+}
+
+TEST(BaselineBfs, PathGraphDistances) {
+  Graph g = path_graph(10);
+  auto r = baseline::bfs(g, 0);
+  for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(r.dist[v], v);
+  EXPECT_EQ(r.parent[5], 4u);
+  // 10 frontier scans: {0}..{9}; the last adds nothing (the paper's logs
+  // likewise show a final "add queue 0" iteration before "BFS finish").
+  EXPECT_EQ(r.rounds, 10u);
+}
+
+TEST(BaselineBfs, UnreachableVerticesStayInf) {
+  Graph g = Graph::from_edges(4, {{0, 1}}, true);
+  auto r = baseline::bfs(g, 0);
+  EXPECT_EQ(r.dist[1], 1u);
+  EXPECT_EQ(r.dist[2], ~0ull);
+  EXPECT_EQ(r.dist[3], ~0ull);
+}
+
+TEST(BaselineTc, CompleteGraphChoose3) {
+  // K_n has C(n,3) triangles.
+  EXPECT_EQ(baseline::triangle_count(complete_graph(4)), 4u);
+  EXPECT_EQ(baseline::triangle_count(complete_graph(6)), 20u);
+  EXPECT_EQ(baseline::triangle_count(complete_graph(10)), 120u);
+}
+
+TEST(BaselineTc, PathAndStarHaveNoTriangles) {
+  EXPECT_EQ(baseline::triangle_count(path_graph(50)), 0u);
+  EXPECT_EQ(baseline::triangle_count(star_graph(50)), 0u);
+}
+
+TEST(BaselineTc, TriangleWithTail) {
+  Graph g = Graph::from_edges(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}}, true);
+  EXPECT_EQ(baseline::triangle_count(g), 1u);
+}
+
+// Brute-force cross-check on random graphs.
+std::uint64_t brute_triangles(const Graph& g) {
+  std::uint64_t c = 0;
+  for (VertexId x = 0; x < g.num_vertices(); ++x)
+    for (VertexId y : g.neighbors_of(x))
+      if (y < x)
+        for (VertexId z : g.neighbors_of(y))
+          if (z < y && g.has_edge(x, z)) ++c;
+  return c;
+}
+
+class TcOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TcOracle, MatchesBruteForce) {
+  Graph g = rmat(7, {.symmetrize = true}, GetParam());
+  EXPECT_EQ(baseline::triangle_count(g), brute_triangles(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TcOracle, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace updown

@@ -1,0 +1,75 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace updown {
+namespace {
+
+TEST(Graph, FromEdgesSortsAndDedups) {
+  Graph g = Graph::from_edges(4, {{1, 0}, {0, 2}, {0, 1}, {0, 1}, {2, 2}});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);  // dup (0,1) and self-loop (2,2) dropped
+  const auto n0 = g.neighbors_of(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+  EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(Graph, SymmetrizeAddsReverseEdges) {
+  Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}}, /*symmetrize=*/true);
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_EQ(g.num_edges(), 4u);
+}
+
+TEST(Generators, RmatHasRequestedShape) {
+  Graph g = rmat(10);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  // Dedup removes some of the n*16 generated edges, but most survive.
+  EXPECT_GT(g.num_edges(), 1024u * 8);
+  EXPECT_LE(g.num_edges(), 1024u * 16);
+}
+
+TEST(Generators, RmatIsSkewed) {
+  // With a=0.57 the degree distribution must be heavy-tailed: the max degree
+  // far exceeds the average degree.
+  Graph g = rmat(12);
+  const double avg = static_cast<double>(g.num_edges()) / g.num_vertices();
+  EXPECT_GT(g.max_degree(), static_cast<std::uint64_t>(avg * 10));
+}
+
+TEST(Generators, RmatIsDeterministicPerSeed) {
+  Graph a = rmat(8, {}, 123), b = rmat(8, {}, 123), c = rmat(8, {}, 124);
+  EXPECT_EQ(a.neighbors(), b.neighbors());
+  EXPECT_NE(a.neighbors(), c.neighbors());
+}
+
+TEST(Generators, ErdosRenyiIsNotSkewed) {
+  Graph g = erdos_renyi(12);
+  const double avg = static_cast<double>(g.num_edges()) / g.num_vertices();
+  EXPECT_LT(g.max_degree(), static_cast<std::uint64_t>(avg * 4));
+}
+
+TEST(Generators, ForestFireIsConnectedToRoot) {
+  Graph g = forest_fire(512);
+  EXPECT_EQ(g.num_vertices(), 512u);
+  // Every non-root vertex burned at least one edge (symmetrized).
+  for (VertexId v = 1; v < g.num_vertices(); ++v)
+    EXPECT_GE(g.degree(v), 1u) << "vertex " << v;
+}
+
+TEST(Generators, Fixtures) {
+  Graph p = path_graph(5);
+  EXPECT_EQ(p.num_edges(), 8u);
+  Graph s = star_graph(4);
+  EXPECT_EQ(s.degree(0), 4u);
+  EXPECT_EQ(s.degree(1), 1u);
+  Graph k = complete_graph(4);
+  EXPECT_EQ(k.num_edges(), 12u);
+}
+
+}  // namespace
+}  // namespace updown

@@ -1,0 +1,112 @@
+#include "graph/split.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "graph/generators.hpp"
+
+namespace updown {
+namespace {
+
+TEST(Split, RespectsMaxDegree) {
+  Graph g = star_graph(100);  // hub of degree 100
+  SplitGraph sg = split_vertices(g, 16, /*shuffle=*/false);
+  EXPECT_LE(sg.g.max_degree(), 16u);
+  EXPECT_EQ(sg.num_original, g.num_vertices());
+}
+
+TEST(Split, PreservesEveryEdgeWithOwnerAndSlotMapping) {
+  Graph g = rmat(8);
+  SplitGraph sg = split_vertices(g, 8, /*shuffle=*/true, 99);
+  EXPECT_EQ(sg.g.num_edges(), g.num_edges());
+  // Reconstruct the original multiset of edges: sub source -> owner, slot
+  // target -> slot owner.
+  std::multiset<std::pair<VertexId, VertexId>> orig, recon;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    for (VertexId u : g.neighbors_of(v)) orig.insert({v, u});
+  for (VertexId s = 0; s < sg.num_sub(); ++s)
+    for (VertexId slot : sg.g.neighbors_of(s))
+      recon.insert({sg.owner[s], sg.slot_owner(slot)});
+  EXPECT_EQ(orig, recon);
+}
+
+TEST(Split, InEdgesSpreadAcrossTargetSlots) {
+  // A hub with 64 in-edges and 64 out-edges split at max degree 8 has 8
+  // slots; round-robin rewriting puts exactly 8 in-edges on each slot.
+  Graph g = star_graph(64);  // hub 0 <-> 64 leaves, both directions
+  SplitGraph sg = split_vertices(g, 8, /*shuffle=*/false);
+  const std::uint64_t hub_slots = sg.slot_offset[1] - sg.slot_offset[0];
+  EXPECT_EQ(hub_slots, 8u);
+  std::vector<std::uint64_t> in_count(hub_slots, 0);
+  for (VertexId s = 0; s < sg.num_sub(); ++s)
+    for (VertexId slot : sg.g.neighbors_of(s))
+      if (slot < sg.slot_offset[1]) in_count[slot]++;
+  for (auto c : in_count) EXPECT_EQ(c, 8u);
+}
+
+TEST(Split, SlotOffsetsAreDenseAndComplete) {
+  Graph g = rmat(7, {}, 2);
+  SplitGraph sg = split_vertices(g, 4);
+  EXPECT_EQ(sg.slot_offset.front(), 0u);
+  EXPECT_EQ(sg.num_slots(), sg.num_sub());
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_GE(sg.slot_offset[v + 1], sg.slot_offset[v] + 1);
+}
+
+TEST(Split, OwnerDegreeIsOriginalTotalDegree) {
+  Graph g = star_graph(50);
+  SplitGraph sg = split_vertices(g, 8, /*shuffle=*/false);
+  for (VertexId s = 0; s < sg.num_sub(); ++s)
+    EXPECT_EQ(sg.owner_degree[s], g.degree(sg.owner[s]));
+}
+
+TEST(Split, ZeroDegreeVerticesSurvive) {
+  Graph g = Graph::from_edges(5, {{0, 1}});  // vertices 2..4 isolated
+  SplitGraph sg = split_vertices(g, 4, false);
+  EXPECT_EQ(sg.num_sub(), 5u);
+  std::vector<VertexId> owners = sg.owner;
+  std::sort(owners.begin(), owners.end());
+  EXPECT_EQ(owners, (std::vector<VertexId>{0, 1, 2, 3, 4}));
+}
+
+TEST(Split, NoSplitNeededIsIdentityShaped) {
+  Graph g = path_graph(10);
+  SplitGraph sg = split_vertices(g, 1024, /*shuffle=*/false);
+  EXPECT_EQ(sg.num_sub(), g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(sg.owner[v], v);
+    EXPECT_EQ(sg.g.degree(v), g.degree(v));
+  }
+}
+
+TEST(Split, ShuffleSpreadsHeavyHitterPieces) {
+  Graph g = star_graph(1 << 12);
+  SplitGraph shuffled = split_vertices(g, 16, /*shuffle=*/true, 5);
+  // The hub's 256 pieces should not be contiguous after shuffling.
+  std::vector<VertexId> hub_positions;
+  for (VertexId s = 0; s < shuffled.num_sub(); ++s)
+    if (shuffled.owner[s] == 0) hub_positions.push_back(s);
+  ASSERT_GE(hub_positions.size(), 2u);
+  bool contiguous = true;
+  for (std::size_t i = 1; i < hub_positions.size(); ++i)
+    if (hub_positions[i] != hub_positions[i - 1] + 1) contiguous = false;
+  EXPECT_FALSE(contiguous);
+}
+
+class SplitProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SplitProperty, EdgeCountAndDegreeBoundHoldAcrossMaxDegrees) {
+  Graph g = rmat(9, {}, 3);
+  SplitGraph sg = split_vertices(g, GetParam());
+  EXPECT_EQ(sg.g.num_edges(), g.num_edges());
+  EXPECT_LE(sg.g.max_degree(), GetParam());
+  EXPECT_GE(sg.num_sub(), g.num_vertices());
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxDegrees, SplitProperty,
+                         ::testing::Values(1, 4, 16, 64, 512, 4096));
+
+}  // namespace
+}  // namespace updown

@@ -1,0 +1,49 @@
+#include "graph/split_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace updown {
+namespace {
+
+std::string tmp_prefix(const std::string& name) {
+  const auto dir = std::filesystem::temp_directory_path() / "ud_split_io";
+  std::filesystem::create_directories(dir);
+  return (dir / name).string();
+}
+
+TEST(SplitIo, RoundTripPreservesEverything) {
+  Graph g = rmat(8, {}, 21);
+  SplitGraph sg = split_vertices(g, 16);
+  write_split_binary(sg, tmp_prefix("r8"));
+  SplitGraph h = read_split_binary(tmp_prefix("r8"));
+  EXPECT_EQ(h.num_original, sg.num_original);
+  EXPECT_EQ(h.g.offsets(), sg.g.offsets());
+  EXPECT_EQ(h.g.neighbors(), sg.g.neighbors());
+  EXPECT_EQ(h.owner, sg.owner);
+  EXPECT_EQ(h.owner_degree, sg.owner_degree);
+  EXPECT_EQ(h.slot_offset, sg.slot_offset);
+}
+
+TEST(SplitIo, MissingMetaThrows) {
+  Graph g = path_graph(8);
+  SplitGraph sg = split_vertices(g, 4);
+  // Write only the graph pair, not the meta file.
+  write_binary(sg.g, tmp_prefix("nometa"));
+  EXPECT_THROW(read_split_binary(tmp_prefix("nometa")), std::runtime_error);
+}
+
+TEST(SplitIo, StatsSummaryMentionsKeyNumbers) {
+  Graph g = star_graph(100);
+  SplitGraph sg = split_vertices(g, 10);
+  const std::string s = split_stats(g, sg);
+  EXPECT_NE(s.find("101"), std::string::npos);  // original vertex count
+  EXPECT_NE(s.find("preserved: yes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace updown

@@ -1,0 +1,103 @@
+#include "mem/global_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+namespace updown {
+namespace {
+
+TEST(GlobalMemory, HostRoundTripSpansBlocks) {
+  GlobalMemory gm(4);
+  const Addr base = gm.dram_malloc(1 << 16, 0, 4, 4096);
+  std::vector<std::uint8_t> data(1 << 16);
+  std::iota(data.begin(), data.end(), 0);
+  gm.host_write(base, data.data(), data.size());
+  std::vector<std::uint8_t> out(data.size());
+  gm.host_read(base, out.data(), out.size());
+  EXPECT_EQ(data, out);
+}
+
+TEST(GlobalMemory, WordPhysMatchesHostView) {
+  GlobalMemory gm(8);
+  const Addr base = gm.dram_malloc(64 * 1024, 0, 8, 4096);
+  for (Addr a = base; a < base + 64 * 1024; a += 4096 - 8) {
+    const Addr wa = a & ~7ull;
+    gm.host_store<Word>(wa, wa * 3 + 1);
+    EXPECT_EQ(gm.read_word_phys(gm.translate(wa)), wa * 3 + 1);
+  }
+  gm.write_word_phys(gm.translate(base + 8), 0xABCD);
+  EXPECT_EQ(gm.host_load<Word>(base + 8), 0xABCDu);
+}
+
+TEST(GlobalMemory, AllocationsDoNotOverlapPhysically) {
+  GlobalMemory gm(2);
+  const Addr a = gm.dram_malloc(8192, 0, 2, 4096);
+  const Addr b = gm.dram_malloc(8192, 0, 2, 4096);
+  gm.host_fill(a, 0xAA, 8192);
+  gm.host_fill(b, 0xBB, 8192);
+  std::vector<std::uint8_t> va(8192), vb(8192);
+  gm.host_read(a, va.data(), va.size());
+  gm.host_read(b, vb.data(), vb.size());
+  for (auto x : va) EXPECT_EQ(x, 0xAA);
+  for (auto x : vb) EXPECT_EQ(x, 0xBB);
+}
+
+TEST(GlobalMemory, MixedNodeRangesDoNotOverlap) {
+  GlobalMemory gm(8);
+  // One region on nodes 0..7, one only on nodes 4..7 (paper Table 1 style).
+  const Addr wide = gm.dram_malloc(64 * 1024, 0, 8, 4096);
+  const Addr narrow = gm.dram_malloc(32 * 1024, 4, 4, 4096);
+  gm.host_fill(wide, 0x11, 64 * 1024);
+  gm.host_fill(narrow, 0x22, 32 * 1024);
+  std::vector<std::uint8_t> w(64 * 1024);
+  gm.host_read(wide, w.data(), w.size());
+  for (auto x : w) EXPECT_EQ(x, 0x11);
+}
+
+TEST(GlobalMemory, DescriptorCountStaysSmall) {
+  // The paper: "a much smaller number of descriptors is required for a
+  // typical program (e.g., 2-4 for our benchmarks)".
+  GlobalMemory gm(16);
+  gm.dram_malloc(1 << 20, 0, 16, 32 * 1024);  // vertex array
+  gm.dram_malloc(1 << 22, 0, 16, 32 * 1024);  // neighbor list
+  gm.dram_malloc(1 << 18, 0, 16, 1 << 14);    // frontier
+  EXPECT_LE(gm.descriptor_count(), 4u);
+}
+
+TEST(GlobalMemory, RejectsInvalidParameters) {
+  GlobalMemory gm(4);
+  EXPECT_THROW(gm.dram_malloc(0, 0, 4, 4096), std::invalid_argument);
+  EXPECT_THROW(gm.dram_malloc(4096, 0, 3, 4096), std::invalid_argument);  // not pow2
+  EXPECT_THROW(gm.dram_malloc(4096, 0, 4, 3000), std::invalid_argument);  // not pow2
+  EXPECT_THROW(gm.dram_malloc(4096, 2, 4, 4096), std::invalid_argument);  // past end
+  EXPECT_THROW(gm.translate(0xDEAD), std::out_of_range);  // unmapped VA
+}
+
+TEST(GlobalMemory, DramFreeRetiresDescriptor) {
+  GlobalMemory gm(2);
+  const Addr a = gm.dram_malloc(4096, 0, 2, 4096);
+  EXPECT_EQ(gm.descriptor_count(), 1u);
+  gm.dram_free(a);
+  EXPECT_EQ(gm.descriptor_count(), 0u);
+  EXPECT_THROW(gm.translate(a), std::out_of_range);
+  EXPECT_THROW(gm.dram_free(a), std::invalid_argument);
+}
+
+TEST(GlobalMemory, SpreadHelperUsesWholeMachine) {
+  GlobalMemory gm(8);
+  const Addr a = gm.dram_malloc_spread(8 * 32 * 1024);
+  const auto& d = gm.descriptor_for(a);
+  EXPECT_EQ(d.nr_nodes(), 8u);
+  EXPECT_EQ(d.block_size(), 32u * 1024);
+  // All 8 nodes receive at least one block.
+  bool touched[8] = {};
+  for (std::uint64_t off = 0; off < 8 * 32 * 1024; off += 32 * 1024)
+    touched[gm.translate(a + off).node] = true;
+  for (bool t : touched) EXPECT_TRUE(t);
+}
+
+}  // namespace
+}  // namespace updown

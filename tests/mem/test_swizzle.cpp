@@ -1,0 +1,94 @@
+#include "mem/swizzle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+namespace updown {
+namespace {
+
+TEST(Swizzle, SingleNodeIsIdentityPlusNodeBase) {
+  SwizzleDescriptor d(/*base=*/0x1000, /*size=*/4096, /*first_node=*/0,
+                      /*nr_nodes=*/1, /*block_size=*/4096, /*node_base=*/512);
+  for (Addr a : {Addr{0x1000}, Addr{0x1008}, Addr{0x1FF8}}) {
+    const PhysLoc loc = d.translate(a);
+    EXPECT_EQ(loc.node, 0u);
+    EXPECT_EQ(loc.offset, 512 + (a - 0x1000));
+  }
+}
+
+TEST(Swizzle, BlockCyclicRoundRobinOverNodes) {
+  // 4 nodes, 4 KiB blocks: block i lands on node i mod 4.
+  SwizzleDescriptor d(0, 64 * 1024, 0, 4, 4096, 0);
+  for (std::uint64_t block = 0; block < 16; ++block) {
+    const PhysLoc loc = d.translate(block * 4096);
+    EXPECT_EQ(loc.node, block % 4) << "block " << block;
+    EXPECT_EQ(loc.offset, (block / 4) * 4096) << "block " << block;
+  }
+}
+
+TEST(Swizzle, FirstNodeOffsetsTheCycle) {
+  SwizzleDescriptor d(0, 32 * 4096, /*first_node=*/8, /*nr_nodes=*/4, 4096, 0);
+  EXPECT_EQ(d.translate(0).node, 8u);
+  EXPECT_EQ(d.translate(4096).node, 9u);
+  EXPECT_EQ(d.translate(5 * 4096).node, 9u);
+}
+
+TEST(Swizzle, ContiguousWithinBlock) {
+  SwizzleDescriptor d(0x8000, 1 << 20, 0, 8, 1 << 14, 0);
+  const PhysLoc start = d.translate(0x8000);
+  for (std::uint64_t off = 0; off < (1u << 14); off += 8) {
+    const PhysLoc loc = d.translate(0x8000 + off);
+    EXPECT_EQ(loc.node, start.node);
+    EXPECT_EQ(loc.offset, start.offset + off);
+  }
+}
+
+TEST(Swizzle, BytesPerNodeRoundsUpToWholeBlocks) {
+  SwizzleDescriptor d(0, 10 * 4096, 0, 4, 4096, 0);
+  // 10 blocks over 4 nodes -> 3 blocks on the widest node.
+  EXPECT_EQ(d.bytes_per_node(), 3u * 4096);
+}
+
+// Table 1 of the paper: representative DRAMmalloc() parameter sets. The
+// contiguous-per-node case (4 TB, 1K nodes, 4 GB blocks) must give each node
+// one unbroken region.
+TEST(Swizzle, Table1ContiguousRegionsPerNode) {
+  const std::uint64_t four_gb = 4ull << 30;
+  SwizzleDescriptor d(0, 64 * four_gb, 0, 64, four_gb, 0);
+  for (std::uint32_t n = 0; n < 64; ++n) {
+    const PhysLoc first = d.translate(static_cast<Addr>(n) * four_gb);
+    const PhysLoc last = d.translate(static_cast<Addr>(n + 1) * four_gb - 8);
+    EXPECT_EQ(first.node, n);
+    EXPECT_EQ(last.node, n);
+    EXPECT_EQ(last.offset - first.offset, four_gb - 8);
+  }
+}
+
+// Property: translation is a bijection — no two virtual words map to the
+// same physical (node, offset).
+class SwizzleBijection
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint64_t>> {};
+
+TEST_P(SwizzleBijection, NoPhysicalAliasing) {
+  const auto [nr_nodes, block] = GetParam();
+  const std::uint64_t size = 16 * nr_nodes * block;
+  SwizzleDescriptor d(0x100000, size, 0, nr_nodes, block, 64);
+  std::map<std::pair<std::uint32_t, std::uint64_t>, Addr> seen;
+  for (Addr a = 0x100000; a < 0x100000 + size; a += block / 2) {
+    const PhysLoc loc = d.translate(a);
+    auto [it, inserted] = seen.emplace(std::make_pair(loc.node, loc.offset), a);
+    EXPECT_TRUE(inserted) << "VA " << a << " aliases VA " << it->second;
+    EXPECT_LT(loc.node, nr_nodes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SwizzleBijection,
+                         ::testing::Combine(::testing::Values(1u, 2u, 8u, 64u),
+                                            ::testing::Values(std::uint64_t{256},
+                                                              std::uint64_t{4096},
+                                                              std::uint64_t{1} << 16)));
+
+}  // namespace
+}  // namespace updown

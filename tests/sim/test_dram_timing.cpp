@@ -1,0 +1,102 @@
+// DRAM timing model: latency, bandwidth queuing, locality ratios.
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+#include "udweave/context.hpp"
+
+namespace updown {
+namespace {
+
+struct TimingApp {
+  Addr base = 0;
+  unsigned reads = 0;
+  unsigned expected = 0;
+  Tick first_done = 0, last_done = 0;
+  EventLabel go = 0, done = 0;
+};
+
+struct TReader : ThreadState {
+  void go(Ctx& ctx) {
+    auto& app = ctx.machine().user<TimingApp>();
+    for (unsigned i = 0; i < app.expected; ++i)
+      ctx.send_dram_read(app.base + (ctx.op(0) + i) * 64, 8, app.done);
+  }
+  void done(Ctx& ctx) {
+    auto& app = ctx.machine().user<TimingApp>();
+    if (app.reads == 0) app.first_done = ctx.start_time();
+    app.last_done = ctx.start_time();
+    if (++app.reads == app.expected) ctx.yield_terminate();
+  }
+};
+
+class DramTiming : public ::testing::Test {
+ protected:
+  TimingApp& setup(MachineConfig cfg, std::uint32_t alloc_nodes) {
+    m_ = std::make_unique<Machine>(cfg);
+    auto& app = m_->emplace_user<TimingApp>();
+    app.base = m_->memory().dram_malloc(1 << 22, 0, alloc_nodes, 4096);
+    app.go = m_->program().event("TReader::go", &TReader::go);
+    app.done = m_->program().event("TReader::done", &TReader::done);
+    return app;
+  }
+  Tick run(unsigned nreads, Word offset_blocks = 0) {
+    auto& app = m_->user<TimingApp>();
+    app.expected = nreads;
+    app.reads = 0;
+    m_->send_from_host(evw::make_new(0, app.go), {offset_blocks});
+    m_->run();
+    return app.last_done;
+  }
+  std::unique_ptr<Machine> m_;
+};
+
+TEST_F(DramTiming, SingleReadLatencyIsDramPlusNetwork) {
+  auto cfg = MachineConfig::scaled(1);
+  setup(cfg, 1);
+  const Tick done = run(1);
+  // Round trip: intra-node there + dram latency + intra-node back, plus a
+  // few cycles of handler overhead.
+  EXPECT_GT(done, cfg.lat_dram);
+  EXPECT_LT(done, cfg.lat_dram + 4 * cfg.lat_intra_node + 50);
+}
+
+TEST_F(DramTiming, BandwidthQueuesLargeBursts) {
+  // Saturate one node's controller: N back-to-back 64-byte reads must take
+  // at least N*bytes/bandwidth cycles end to end.
+  auto cfg = MachineConfig::scaled(1);
+  cfg.bw_dram_node = 16.0;  // tiny bandwidth to expose the queue
+  setup(cfg, 1);
+  const unsigned n = 64;
+  const Tick done = run(n);
+  EXPECT_GT(done, static_cast<Tick>(n * 80 / 16));  // 80B per access incl header
+  EXPECT_EQ(m_->stats().dram_reads, n);
+}
+
+TEST_F(DramTiming, RemoteAccessCostsMoreThanLocal) {
+  // Allocate on node 0 only; read from node 0 (local) vs node 3 (remote).
+  auto cfg = MachineConfig::scaled(4);
+  auto& app = setup(cfg, 1);
+  app.expected = 1;
+  m_->send_from_host(evw::make_new(0, app.go), {0});
+  m_->run();
+  const Tick local = app.first_done;
+
+  app.reads = 0;
+  app.first_done = 0;
+  m_->send_from_host(evw::make_new(m_->first_lane_of_node(3), app.go), {1});
+  const Tick before = m_->now();
+  m_->run();
+  const Tick remote = app.first_done - before;
+  // Section 3.2: localization matters ~7:1 in latency.
+  EXPECT_GT(remote, 3 * local);
+  EXPECT_EQ(m_->stats().remote_dram_accesses, 1u);
+}
+
+TEST_F(DramTiming, StatsCountBytes) {
+  setup(MachineConfig::scaled(1), 1);
+  run(10);
+  EXPECT_EQ(m_->stats().dram_bytes, 10u * 64);
+}
+
+}  // namespace
+}  // namespace updown

@@ -1,0 +1,52 @@
+#include "sim/event_word.hpp"
+
+#include <gtest/gtest.h>
+
+namespace updown {
+namespace {
+
+TEST(EventWord, RoundTripNewThread) {
+  const Word w = evw::make_new(0xDEADBEEF, 0x7AB, 5);
+  EXPECT_EQ(evw::nwid(w), 0xDEADBEEFu);
+  EXPECT_EQ(evw::label(w), 0x7AB);
+  EXPECT_TRUE(evw::is_new_thread(w));
+}
+
+TEST(EventWord, RoundTripExistingThread) {
+  const Word w = evw::make_existing(42, 999, 311, 3);
+  EXPECT_EQ(evw::nwid(w), 42u);
+  EXPECT_EQ(evw::tid(w), 999);
+  EXPECT_EQ(evw::label(w), 311);
+  EXPECT_FALSE(evw::is_new_thread(w));
+}
+
+TEST(EventWord, UpdateEventKeepsEverythingElse) {
+  const Word w = evw::make_existing(7, 13, 100);
+  const Word u = evw::update_event(w, 200);
+  EXPECT_EQ(evw::nwid(u), 7u);
+  EXPECT_EQ(evw::tid(u), 13);
+  EXPECT_EQ(evw::label(u), 200);
+  EXPECT_FALSE(evw::is_new_thread(u));
+  // new-thread flag also preserved
+  const Word n = evw::update_event(evw::make_new(7, 100), 200);
+  EXPECT_TRUE(evw::is_new_thread(n));
+  EXPECT_EQ(evw::label(n), 200);
+}
+
+TEST(EventWord, UpdateNwidKeepsLabelAndTid) {
+  const Word w = evw::make_existing(7, 13, 100);
+  const Word u = evw::update_nwid(w, 2048);
+  EXPECT_EQ(evw::nwid(u), 2048u);
+  EXPECT_EQ(evw::tid(u), 13);
+  EXPECT_EQ(evw::label(u), 100);
+}
+
+TEST(EventWord, IgnrcontIsNeverAValidEventWord) {
+  // Label 0 is reserved by Program, so the all-zero word cannot address a
+  // registered event.
+  EXPECT_EQ(evw::label(IGNRCONT), 0);
+  EXPECT_FALSE(evw::is_new_thread(IGNRCONT));
+}
+
+}  // namespace
+}  // namespace updown
