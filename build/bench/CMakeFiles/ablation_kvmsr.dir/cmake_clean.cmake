@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kvmsr.dir/ablation_kvmsr.cpp.o"
+  "CMakeFiles/ablation_kvmsr.dir/ablation_kvmsr.cpp.o.d"
+  "ablation_kvmsr"
+  "ablation_kvmsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kvmsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

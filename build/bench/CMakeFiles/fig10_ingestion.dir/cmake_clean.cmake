@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ingestion.dir/fig10_ingestion.cpp.o"
+  "CMakeFiles/fig10_ingestion.dir/fig10_ingestion.cpp.o.d"
+  "fig10_ingestion"
+  "fig10_ingestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

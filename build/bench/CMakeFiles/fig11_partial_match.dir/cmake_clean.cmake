@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_partial_match.dir/fig11_partial_match.cpp.o"
+  "CMakeFiles/fig11_partial_match.dir/fig11_partial_match.cpp.o.d"
+  "fig11_partial_match"
+  "fig11_partial_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_partial_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

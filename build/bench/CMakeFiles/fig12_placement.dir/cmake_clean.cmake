@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_placement.dir/fig12_placement.cpp.o"
+  "CMakeFiles/fig12_placement.dir/fig12_placement.cpp.o.d"
+  "fig12_placement"
+  "fig12_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_bfs.dir/fig9_bfs.cpp.o"
+  "CMakeFiles/fig9_bfs.dir/fig9_bfs.cpp.o.d"
+  "fig9_bfs"
+  "fig9_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_pagerank.dir/fig9_pagerank.cpp.o"
+  "CMakeFiles/fig9_pagerank.dir/fig9_pagerank.cpp.o.d"
+  "fig9_pagerank"
+  "fig9_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

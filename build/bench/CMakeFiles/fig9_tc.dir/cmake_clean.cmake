@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_tc.dir/fig9_tc.cpp.o"
+  "CMakeFiles/fig9_tc.dir/fig9_tc.cpp.o.d"
+  "fig9_tc"
+  "fig9_tc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_drammalloc.dir/tab1_drammalloc.cpp.o"
+  "CMakeFiles/tab1_drammalloc.dir/tab1_drammalloc.cpp.o.d"
+  "tab1_drammalloc"
+  "tab1_drammalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_drammalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

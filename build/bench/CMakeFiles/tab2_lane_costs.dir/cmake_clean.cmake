@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_lane_costs.dir/tab2_lane_costs.cpp.o"
+  "CMakeFiles/tab2_lane_costs.dir/tab2_lane_costs.cpp.o.d"
+  "tab2_lane_costs"
+  "tab2_lane_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_lane_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

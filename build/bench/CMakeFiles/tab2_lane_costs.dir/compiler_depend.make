@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab2_lane_costs.
+# This may be replaced when dependencies are built.

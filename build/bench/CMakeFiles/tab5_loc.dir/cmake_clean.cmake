@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab5_loc.dir/tab5_loc.cpp.o"
+  "CMakeFiles/tab5_loc.dir/tab5_loc.cpp.o.d"
+  "tab5_loc"
+  "tab5_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab5_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

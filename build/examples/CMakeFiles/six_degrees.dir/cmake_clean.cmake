@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/six_degrees.dir/six_degrees.cpp.o"
+  "CMakeFiles/six_degrees.dir/six_degrees.cpp.o.d"
+  "six_degrees"
+  "six_degrees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/six_degrees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

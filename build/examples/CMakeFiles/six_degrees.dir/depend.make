@@ -1,0 +1,2 @@
+# Empty dependencies file for six_degrees.
+# This may be replaced when dependencies are built.

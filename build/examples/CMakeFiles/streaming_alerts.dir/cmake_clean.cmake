@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_alerts.dir/streaming_alerts.cpp.o"
+  "CMakeFiles/streaming_alerts.dir/streaming_alerts.cpp.o.d"
+  "streaming_alerts"
+  "streaming_alerts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_alerts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

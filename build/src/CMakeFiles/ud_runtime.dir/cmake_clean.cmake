@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ud_runtime.dir/mem/global_memory.cpp.o"
+  "CMakeFiles/ud_runtime.dir/mem/global_memory.cpp.o.d"
+  "CMakeFiles/ud_runtime.dir/sim/machine.cpp.o"
+  "CMakeFiles/ud_runtime.dir/sim/machine.cpp.o.d"
+  "libud_runtime.a"
+  "libud_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ud_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abstractions/global_sort.cpp" "src/abstractions/CMakeFiles/ud_abstractions.dir/global_sort.cpp.o" "gcc" "src/abstractions/CMakeFiles/ud_abstractions.dir/global_sort.cpp.o.d"
+  "/root/repo/src/abstractions/parallel_graph.cpp" "src/abstractions/CMakeFiles/ud_abstractions.dir/parallel_graph.cpp.o" "gcc" "src/abstractions/CMakeFiles/ud_abstractions.dir/parallel_graph.cpp.o.d"
+  "/root/repo/src/abstractions/shmem.cpp" "src/abstractions/CMakeFiles/ud_abstractions.dir/shmem.cpp.o" "gcc" "src/abstractions/CMakeFiles/ud_abstractions.dir/shmem.cpp.o.d"
+  "/root/repo/src/abstractions/sht.cpp" "src/abstractions/CMakeFiles/ud_abstractions.dir/sht.cpp.o" "gcc" "src/abstractions/CMakeFiles/ud_abstractions.dir/sht.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kvmsr/CMakeFiles/ud_kvmsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ud_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

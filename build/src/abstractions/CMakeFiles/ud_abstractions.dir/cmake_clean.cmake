@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ud_abstractions.dir/global_sort.cpp.o"
+  "CMakeFiles/ud_abstractions.dir/global_sort.cpp.o.d"
+  "CMakeFiles/ud_abstractions.dir/parallel_graph.cpp.o"
+  "CMakeFiles/ud_abstractions.dir/parallel_graph.cpp.o.d"
+  "CMakeFiles/ud_abstractions.dir/shmem.cpp.o"
+  "CMakeFiles/ud_abstractions.dir/shmem.cpp.o.d"
+  "CMakeFiles/ud_abstractions.dir/sht.cpp.o"
+  "CMakeFiles/ud_abstractions.dir/sht.cpp.o.d"
+  "libud_abstractions.a"
+  "libud_abstractions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ud_abstractions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

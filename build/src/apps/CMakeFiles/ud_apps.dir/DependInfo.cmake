@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bfs.cpp" "src/apps/CMakeFiles/ud_apps.dir/bfs.cpp.o" "gcc" "src/apps/CMakeFiles/ud_apps.dir/bfs.cpp.o.d"
+  "/root/repo/src/apps/exact_match.cpp" "src/apps/CMakeFiles/ud_apps.dir/exact_match.cpp.o" "gcc" "src/apps/CMakeFiles/ud_apps.dir/exact_match.cpp.o.d"
+  "/root/repo/src/apps/gnn.cpp" "src/apps/CMakeFiles/ud_apps.dir/gnn.cpp.o" "gcc" "src/apps/CMakeFiles/ud_apps.dir/gnn.cpp.o.d"
+  "/root/repo/src/apps/ingestion.cpp" "src/apps/CMakeFiles/ud_apps.dir/ingestion.cpp.o" "gcc" "src/apps/CMakeFiles/ud_apps.dir/ingestion.cpp.o.d"
+  "/root/repo/src/apps/pagerank.cpp" "src/apps/CMakeFiles/ud_apps.dir/pagerank.cpp.o" "gcc" "src/apps/CMakeFiles/ud_apps.dir/pagerank.cpp.o.d"
+  "/root/repo/src/apps/partial_match.cpp" "src/apps/CMakeFiles/ud_apps.dir/partial_match.cpp.o" "gcc" "src/apps/CMakeFiles/ud_apps.dir/partial_match.cpp.o.d"
+  "/root/repo/src/apps/tc.cpp" "src/apps/CMakeFiles/ud_apps.dir/tc.cpp.o" "gcc" "src/apps/CMakeFiles/ud_apps.dir/tc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kvmsr/CMakeFiles/ud_kvmsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ud_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/abstractions/CMakeFiles/ud_abstractions.dir/DependInfo.cmake"
+  "/root/repo/build/src/tform/CMakeFiles/ud_tform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ud_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

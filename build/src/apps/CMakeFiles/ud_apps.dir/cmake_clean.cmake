@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ud_apps.dir/bfs.cpp.o"
+  "CMakeFiles/ud_apps.dir/bfs.cpp.o.d"
+  "CMakeFiles/ud_apps.dir/exact_match.cpp.o"
+  "CMakeFiles/ud_apps.dir/exact_match.cpp.o.d"
+  "CMakeFiles/ud_apps.dir/gnn.cpp.o"
+  "CMakeFiles/ud_apps.dir/gnn.cpp.o.d"
+  "CMakeFiles/ud_apps.dir/ingestion.cpp.o"
+  "CMakeFiles/ud_apps.dir/ingestion.cpp.o.d"
+  "CMakeFiles/ud_apps.dir/pagerank.cpp.o"
+  "CMakeFiles/ud_apps.dir/pagerank.cpp.o.d"
+  "CMakeFiles/ud_apps.dir/partial_match.cpp.o"
+  "CMakeFiles/ud_apps.dir/partial_match.cpp.o.d"
+  "CMakeFiles/ud_apps.dir/tc.cpp.o"
+  "CMakeFiles/ud_apps.dir/tc.cpp.o.d"
+  "libud_apps.a"
+  "libud_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ud_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ud_baseline.dir/baseline.cpp.o"
+  "CMakeFiles/ud_baseline.dir/baseline.cpp.o.d"
+  "libud_baseline.a"
+  "libud_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ud_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

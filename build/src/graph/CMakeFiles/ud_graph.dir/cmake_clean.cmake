@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ud_graph.dir/generators.cpp.o"
+  "CMakeFiles/ud_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/ud_graph.dir/graph.cpp.o"
+  "CMakeFiles/ud_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/ud_graph.dir/io.cpp.o"
+  "CMakeFiles/ud_graph.dir/io.cpp.o.d"
+  "CMakeFiles/ud_graph.dir/layout.cpp.o"
+  "CMakeFiles/ud_graph.dir/layout.cpp.o.d"
+  "CMakeFiles/ud_graph.dir/split.cpp.o"
+  "CMakeFiles/ud_graph.dir/split.cpp.o.d"
+  "CMakeFiles/ud_graph.dir/split_io.cpp.o"
+  "CMakeFiles/ud_graph.dir/split_io.cpp.o.d"
+  "libud_graph.a"
+  "libud_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ud_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ud_kvmsr.dir/combining_cache.cpp.o"
+  "CMakeFiles/ud_kvmsr.dir/combining_cache.cpp.o.d"
+  "CMakeFiles/ud_kvmsr.dir/kvmsr.cpp.o"
+  "CMakeFiles/ud_kvmsr.dir/kvmsr.cpp.o.d"
+  "libud_kvmsr.a"
+  "libud_kvmsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ud_kvmsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

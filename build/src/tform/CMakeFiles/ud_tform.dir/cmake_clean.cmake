@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ud_tform.dir/fst.cpp.o"
+  "CMakeFiles/ud_tform.dir/fst.cpp.o.d"
+  "CMakeFiles/ud_tform.dir/stream_gen.cpp.o"
+  "CMakeFiles/ud_tform.dir/stream_gen.cpp.o.d"
+  "libud_tform.a"
+  "libud_tform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ud_tform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

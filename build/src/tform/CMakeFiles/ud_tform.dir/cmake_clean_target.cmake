@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libud_tform.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for ud_tform.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abstractions.dir/abstractions/test_abstractions.cpp.o"
+  "CMakeFiles/test_abstractions.dir/abstractions/test_abstractions.cpp.o.d"
+  "test_abstractions"
+  "test_abstractions.pdb"
+  "test_abstractions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abstractions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_word.dir/sim/test_event_word.cpp.o"
+  "CMakeFiles/test_event_word.dir/sim/test_event_word.cpp.o.d"
+  "test_event_word"
+  "test_event_word.pdb"
+  "test_event_word[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_word.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exact_match.dir/apps/test_exact_match.cpp.o"
+  "CMakeFiles/test_exact_match.dir/apps/test_exact_match.cpp.o.d"
+  "test_exact_match"
+  "test_exact_match.pdb"
+  "test_exact_match[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exact_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fst.dir/tform/test_fst.cpp.o"
+  "CMakeFiles/test_fst.dir/tform/test_fst.cpp.o.d"
+  "test_fst"
+  "test_fst.pdb"
+  "test_fst[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

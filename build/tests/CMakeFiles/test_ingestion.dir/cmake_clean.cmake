@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ingestion.dir/apps/test_ingestion.cpp.o"
+  "CMakeFiles/test_ingestion.dir/apps/test_ingestion.cpp.o.d"
+  "test_ingestion"
+  "test_ingestion.pdb"
+  "test_ingestion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_layout.dir/graph/test_io_layout.cpp.o"
+  "CMakeFiles/test_io_layout.dir/graph/test_io_layout.cpp.o.d"
+  "test_io_layout"
+  "test_io_layout.pdb"
+  "test_io_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kvmsr.dir/kvmsr/test_kvmsr.cpp.o"
+  "CMakeFiles/test_kvmsr.dir/kvmsr/test_kvmsr.cpp.o.d"
+  "test_kvmsr"
+  "test_kvmsr.pdb"
+  "test_kvmsr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kvmsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kvmsr_edge.dir/kvmsr/test_kvmsr_edge.cpp.o"
+  "CMakeFiles/test_kvmsr_edge.dir/kvmsr/test_kvmsr_edge.cpp.o.d"
+  "test_kvmsr_edge"
+  "test_kvmsr_edge.pdb"
+  "test_kvmsr_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kvmsr_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

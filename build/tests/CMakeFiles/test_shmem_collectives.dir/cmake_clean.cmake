@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shmem_collectives.dir/abstractions/test_shmem_collectives.cpp.o"
+  "CMakeFiles/test_shmem_collectives.dir/abstractions/test_shmem_collectives.cpp.o.d"
+  "test_shmem_collectives"
+  "test_shmem_collectives.pdb"
+  "test_shmem_collectives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shmem_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

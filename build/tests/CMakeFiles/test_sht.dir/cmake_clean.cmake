@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sht.dir/abstractions/test_sht.cpp.o"
+  "CMakeFiles/test_sht.dir/abstractions/test_sht.cpp.o.d"
+  "test_sht"
+  "test_sht.pdb"
+  "test_sht[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_split_io.dir/graph/test_split_io.cpp.o"
+  "CMakeFiles/test_split_io.dir/graph/test_split_io.cpp.o.d"
+  "test_split_io"
+  "test_split_io.pdb"
+  "test_split_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_split_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swizzle.dir/mem/test_swizzle.cpp.o"
+  "CMakeFiles/test_swizzle.dir/mem/test_swizzle.cpp.o.d"
+  "test_swizzle"
+  "test_swizzle.pdb"
+  "test_swizzle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swizzle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

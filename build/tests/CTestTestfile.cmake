@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_swizzle[1]_include.cmake")
+include("/root/repo/build/tests/test_global_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_event_word[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_split[1]_include.cmake")
+include("/root/repo/build/tests/test_io_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_kvmsr[1]_include.cmake")
+include("/root/repo/build/tests/test_pagerank[1]_include.cmake")
+include("/root/repo/build/tests/test_bfs[1]_include.cmake")
+include("/root/repo/build/tests/test_tc[1]_include.cmake")
+include("/root/repo/build/tests/test_sht[1]_include.cmake")
+include("/root/repo/build/tests/test_abstractions[1]_include.cmake")
+include("/root/repo/build/tests/test_fst[1]_include.cmake")
+include("/root/repo/build/tests/test_ingestion[1]_include.cmake")
+include("/root/repo/build/tests/test_partial_match[1]_include.cmake")
+include("/root/repo/build/tests/test_gnn[1]_include.cmake")
+include("/root/repo/build/tests/test_dram_timing[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_context[1]_include.cmake")
+include("/root/repo/build/tests/test_kvmsr_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_determinism[1]_include.cmake")
+include("/root/repo/build/tests/test_split_io[1]_include.cmake")
+include("/root/repo/build/tests/test_exact_match[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_shmem_collectives[1]_include.cmake")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/bfs_udweave.cpp" "tools/CMakeFiles/bfs_udweave.dir/bfs_udweave.cpp.o" "gcc" "tools/CMakeFiles/bfs_udweave.dir/bfs_udweave.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/ud_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ud_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/abstractions/CMakeFiles/ud_abstractions.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvmsr/CMakeFiles/ud_kvmsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ud_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/tform/CMakeFiles/ud_tform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfs_udweave.dir/bfs_udweave.cpp.o"
+  "CMakeFiles/bfs_udweave.dir/bfs_udweave.cpp.o.d"
+  "bfs_udweave"
+  "bfs_udweave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfs_udweave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_msr.dir/pagerank_msr.cpp.o"
+  "CMakeFiles/pagerank_msr.dir/pagerank_msr.cpp.o.d"
+  "pagerank_msr"
+  "pagerank_msr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_msr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

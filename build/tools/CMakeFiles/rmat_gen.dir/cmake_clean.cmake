@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmat_gen.dir/rmat_gen.cpp.o"
+  "CMakeFiles/rmat_gen.dir/rmat_gen.cpp.o.d"
+  "rmat_gen"
+  "rmat_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmat_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_and_shuffle.dir/split_and_shuffle.cpp.o"
+  "CMakeFiles/split_and_shuffle.dir/split_and_shuffle.cpp.o.d"
+  "split_and_shuffle"
+  "split_and_shuffle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_and_shuffle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_clique_count.dir/three_clique_count.cpp.o"
+  "CMakeFiles/three_clique_count.dir/three_clique_count.cpp.o.d"
+  "three_clique_count"
+  "three_clique_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_clique_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsv.dir/tsv.cpp.o"
+  "CMakeFiles/tsv.dir/tsv.cpp.o.d"
+  "tsv"
+  "tsv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
