@@ -33,4 +33,29 @@ constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
   return hash64(a * 0x9e3779b97f4a7c15ULL + b + 0x7f4a7c159e3779b9ULL);
 }
 
+/// Division/modulo by a fixed divisor, reduced to shift/mask when the divisor
+/// is a power of two (the common topology shape). Hot routing paths divide by
+/// lanes-per-node/per-accel on every message; a hardware 32-bit divide costs
+/// ~20-25 cycles, the shift costs one.
+struct FastDiv {
+  std::uint32_t d = 1;
+  std::uint32_t mask = 0;
+  unsigned shift = 0;
+  bool pow2 = true;
+
+  FastDiv() = default;
+  explicit FastDiv(std::uint32_t divisor)
+      : d(divisor),
+        mask(divisor - 1),
+        shift(is_pow2(divisor) ? log2_exact(divisor) : 0),
+        pow2(is_pow2(divisor)) {}
+
+  std::uint32_t div(std::uint64_t x) const {
+    return static_cast<std::uint32_t>(pow2 ? x >> shift : x / d);
+  }
+  std::uint32_t mod(std::uint64_t x) const {
+    return static_cast<std::uint32_t>(pow2 ? x & mask : x % d);
+  }
+};
+
 }  // namespace updown

@@ -1,9 +1,17 @@
 // Minimal leveled logger. The simulator's equivalent of the paper's
 // [BASIM_PRINT] trace lines: messages are prefixed with the simulated tick so
 // that timings can be extracted exactly as the artifact appendix describes.
+//
+// Hot paths must trace through UDSIM_LOG(...), which compiles to a single
+// branch on a cached level — arguments are not evaluated and no call is made
+// when the level is disabled. The level initializes from the UDSIM_LOG
+// environment variable (error|warn|info|debug or 0..3; default warn) and can
+// be changed at runtime via Logger::level().
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 
@@ -13,16 +21,34 @@ namespace updown {
 
 enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 
+namespace logdetail {
+inline LogLevel parse_env() {
+  const char* env = std::getenv("UDSIM_LOG");
+  if (!env || !*env) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (env[0] >= '0' && env[0] <= '3' && env[1] == '\0')
+    return static_cast<LogLevel>(env[0] - '0');
+  return LogLevel::kWarn;
+}
+}  // namespace logdetail
+
 class Logger {
  public:
-  static LogLevel& level() {
-    static LogLevel lvl = LogLevel::kWarn;
-    return lvl;
+  /// Cached level, read directly by the UDSIM_LOG macro's guard branch.
+  static inline LogLevel level_ = logdetail::parse_env();
+
+  static LogLevel& level() { return level_; }
+
+  static bool enabled(LogLevel lvl) {
+    return static_cast<int>(lvl) <= static_cast<int>(level_);
   }
 
   template <typename... Args>
   static void log(LogLevel lvl, Tick tick, const char* fmt, Args&&... args) {
-    if (lvl > level()) return;
+    if (!enabled(lvl)) return;
     std::fprintf(stderr, "[UDSIM] %llu: ", static_cast<unsigned long long>(tick));
     std::fprintf(stderr, fmt, std::forward<Args>(args)...);
     std::fputc('\n', stderr);
@@ -30,3 +56,11 @@ class Logger {
 };
 
 }  // namespace updown
+
+/// Trace macro for simulator hot paths: a branch on the cached level; the
+/// format arguments are only evaluated when the level is enabled.
+#define UDSIM_LOG(lvl, tick, ...)                                         \
+  do {                                                                    \
+    if (static_cast<int>(lvl) <= static_cast<int>(::updown::Logger::level_)) \
+      ::updown::Logger::log((lvl), (tick), __VA_ARGS__);                  \
+  } while (0)

@@ -69,6 +69,49 @@ void GlobalMemory::write_word_phys(const PhysLoc& loc, Word value) {
   std::memcpy(phys_ptr(loc, sizeof(Word)), &value, sizeof(Word));
 }
 
+void GlobalMemory::read_words(Addr va, Word* out, std::size_t nwords) const {
+  const SwizzleDescriptor* d = &find(va);
+  while (nwords > 0) {
+    if (!d->contains(va)) d = &find(va);
+    const PhysLoc loc = d->translate(va);
+    const std::uint64_t in_block = (va - d->base()) & (d->block_size() - 1);
+    const std::size_t run =
+        std::min<std::uint64_t>(nwords, (d->block_size() - in_block) >> 3);
+    if (run == 0) {
+      // Word straddles the block boundary: single-word physical access.
+      *out++ = read_word_phys(loc);
+      va += 8;
+      --nwords;
+      continue;
+    }
+    std::memcpy(out, phys_ptr(loc, run * 8), run * 8);
+    out += run;
+    va += run * 8;
+    nwords -= run;
+  }
+}
+
+void GlobalMemory::write_words(Addr va, const Word* in, std::size_t nwords) {
+  const SwizzleDescriptor* d = &find(va);
+  while (nwords > 0) {
+    if (!d->contains(va)) d = &find(va);
+    const PhysLoc loc = d->translate(va);
+    const std::uint64_t in_block = (va - d->base()) & (d->block_size() - 1);
+    const std::size_t run =
+        std::min<std::uint64_t>(nwords, (d->block_size() - in_block) >> 3);
+    if (run == 0) {
+      write_word_phys(loc, *in++);
+      va += 8;
+      --nwords;
+      continue;
+    }
+    std::memcpy(phys_ptr(loc, run * 8), in, run * 8);
+    in += run;
+    va += run * 8;
+    nwords -= run;
+  }
+}
+
 void GlobalMemory::host_write(Addr va, const void* data, std::size_t bytes) {
   const auto* src = static_cast<const std::uint8_t*>(data);
   std::size_t done = 0;

@@ -58,6 +58,14 @@ class GlobalMemory {
   Word read_word_phys(const PhysLoc& loc) const;
   void write_word_phys(const PhysLoc& loc, Word value);
 
+  /// Word-run access for DRAM requests: translate the base once and walk
+  /// contiguous words within each distribution block instead of re-translating
+  /// every `addr + 8*i`. Semantically identical to a per-word
+  /// read_word_phys(translate(...)) loop, including words that straddle a
+  /// block boundary at unaligned addresses.
+  void read_words(Addr va, Word* out, std::size_t nwords) const;
+  void write_words(Addr va, const Word* in, std::size_t nwords);
+
   // ---- Host-side direct access (no simulated cost) -------------------------
   void host_write(Addr va, const void* data, std::size_t bytes);
   void host_read(Addr va, void* out, std::size_t bytes) const;

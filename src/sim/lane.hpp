@@ -25,17 +25,28 @@ class Lane {
 
   // ---- Thread contexts ------------------------------------------------------
   ThreadId allocate_thread(std::unique_ptr<ThreadState> state) {
-    ThreadId tid;
-    if (!free_tids_.empty()) {
-      tid = free_tids_.back();
-      free_tids_.pop_back();
-    } else {
-      if (threads_.size() >= max_threads_)
-        throw std::runtime_error("lane out of thread contexts");
-      threads_.emplace_back();
-      tid = static_cast<ThreadId>(threads_.size() - 1);
-    }
+    const ThreadId tid = acquire_tid();
     threads_[tid] = std::move(state);
+    ++live_threads_;
+    return tid;
+  }
+
+  /// Allocate a thread context for `def`'s thread class, recycling a
+  /// previously deallocated state of the same class when one is cached: the
+  /// state is reconstructed in place (value-identical to a fresh factory()
+  /// call) without the per-event heap round trip.
+  ThreadId allocate_thread(const EventDef& def) {
+    const ThreadId tid = acquire_tid();
+    auto& cache = state_cache(def.type_id);
+    if (!cache.empty()) {
+      std::unique_ptr<ThreadState> st = std::move(cache.back());
+      cache.pop_back();
+      def.reinit(*st);
+      st->ud_class_id = def.type_id;
+      threads_[tid] = std::move(st);
+    } else {
+      threads_[tid] = def.factory();
+    }
     ++live_threads_;
     return tid;
   }
@@ -47,7 +58,9 @@ class Lane {
   }
 
   void deallocate_thread(ThreadId tid) {
-    threads_.at(tid).reset();
+    std::unique_ptr<ThreadState>& slot = threads_.at(tid);
+    if (slot) state_cache(slot->ud_class_id).push_back(std::move(slot));
+    slot.reset();
     free_tids_.push_back(tid);
     --live_threads_;
   }
@@ -71,9 +84,28 @@ class Lane {
   void sp_release(std::uint64_t mark) { sp_brk_ = mark; }
 
  private:
+  ThreadId acquire_tid() {
+    if (!free_tids_.empty()) {
+      const ThreadId tid = free_tids_.back();
+      free_tids_.pop_back();
+      return tid;
+    }
+    if (threads_.size() >= max_threads_)
+      throw std::runtime_error("lane out of thread contexts");
+    threads_.emplace_back();
+    return static_cast<ThreadId>(threads_.size() - 1);
+  }
+
+  std::vector<std::unique_ptr<ThreadState>>& state_cache(std::uint32_t class_id) {
+    if (class_id >= state_cache_.size()) state_cache_.resize(class_id + 1);
+    return state_cache_[class_id];
+  }
+
   std::uint32_t max_threads_;
   std::vector<std::unique_ptr<ThreadState>> threads_;
   std::vector<ThreadId> free_tids_;
+  /// Deallocated states cached per thread class for recycling.
+  std::vector<std::vector<std::unique_ptr<ThreadState>>> state_cache_;
   std::uint32_t live_threads_ = 0;
   std::vector<std::uint8_t> scratchpad_;
   std::uint64_t sp_brk_ = 0;

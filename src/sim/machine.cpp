@@ -3,16 +3,22 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/log.hpp"
 #include "udweave/context.hpp"
 
 namespace updown {
 
 Machine::Machine(MachineConfig cfg)
-    : cfg_(cfg), memory_(cfg.nodes), network_(cfg_), dram_(cfg_) {
+    : cfg_(cfg),
+      memory_(cfg.nodes),
+      network_(cfg_),
+      dram_(cfg_),
+      lpn_div_(cfg_.lanes_per_node()),
+      lpa_div_(cfg_.lanes_per_accel) {
   if (!cfg_.valid()) throw std::invalid_argument("Machine: invalid configuration");
   lanes_.reserve(cfg_.total_lanes());
   for (std::uint64_t i = 0; i < cfg_.total_lanes(); ++i)
-    lanes_.push_back(std::make_unique<Lane>(cfg_.max_threads_per_lane, cfg_.scratchpad_bytes));
+    lanes_.emplace_back(cfg_.max_threads_per_lane, cfg_.scratchpad_bytes);
 }
 
 void Machine::send_from_host(Word event_word, std::initializer_list<Word> ops, Word cont) {
@@ -29,9 +35,9 @@ void Machine::send_from_host(Word event_word, const Word* ops, std::size_t nops,
   route_message(std::move(m), now_);
 }
 
-void Machine::push(QItem&& item) {
-  item.seq = seq_++;
-  queue_.push(std::move(item));
+void Machine::enqueue(Tick t, Kind kind, std::uint32_t pool_index) {
+  queue_.push(QEntry{t, seq_++, pool_index, static_cast<std::uint8_t>(kind)});
+  if (queue_.size() > stats_.max_queue_depth) stats_.max_queue_depth = queue_.size();
 }
 
 void Machine::route_message(Message&& m, Tick depart) {
@@ -43,37 +49,34 @@ void Machine::route_message(Message&& m, Tick depart) {
   stats_.messages_sent++;
   stats_.message_bytes += bytes;
   if (node_of(m.src) != node_of(dst)) stats_.cross_node_messages++;
-  QItem item;
-  item.t = arrive;
-  item.kind = QItem::kMsg;
-  item.msg = std::move(m);
-  push(std::move(item));
+  const std::uint32_t idx = msg_pool_.acquire();
+  msg_pool_[idx] = m;
+  enqueue(arrive, kMsg, idx);
 }
 
 void Machine::route_dram(DramRequest&& r, Tick depart) {
-  const PhysLoc loc = memory_.translate(r.addr);
+  // Translate once at routing time; the home node rides along in the request.
+  r.dst_node = memory_.translate(r.addr).node;
   const std::uint32_t req_bytes =
       cfg_.msg_header_bytes + (r.is_write ? r.nwords * 8u : 0u);
   const Tick arrive =
-      network_.arrival(depart, r.src, first_lane_of_node(loc.node), req_bytes);
-  if (node_of(r.src) != loc.node) stats_.remote_dram_accesses++;
-  QItem item;
-  item.t = arrive;
-  item.kind = QItem::kDram;
-  item.dram = std::move(r);
-  push(std::move(item));
+      network_.arrival(depart, r.src, first_lane_of_node(r.dst_node), req_bytes);
+  if (node_of(r.src) != r.dst_node) stats_.remote_dram_accesses++;
+  const std::uint32_t idx = dram_pool_.acquire();
+  dram_pool_[idx] = r;
+  enqueue(arrive, kDram, idx);
 }
 
 void Machine::exec_message(Message& m, Tick arrive) {
   const NetworkId dst = evw::nwid(m.evw);
-  Lane& lane = *lanes_[dst];
+  Lane& lane = lanes_[dst];
   const Tick start = std::max(arrive, lane.free_at);
   const EventLabel label = evw::label(m.evw);
   const EventDef& def = program_.def(label);
 
   ThreadId tid;
   if (evw::is_new_thread(m.evw)) {
-    tid = lane.allocate_thread(def.factory());  // Thread Create: 0 cycles
+    tid = lane.allocate_thread(def);  // Thread Create: 0 cycles (recycles state)
     stats_.threads_created++;
     std::uint64_t live = 0;
     // Tracking exact global live counts cheaply: maintain incrementally.
@@ -83,13 +86,13 @@ void Machine::exec_message(Message& m, Tick arrive) {
     tid = evw::tid(m.evw);
   }
   ThreadState& state = lane.thread(tid);
-  if (std::type_index(typeid(state)) != def.type)
+  if (state.ud_class_id != def.type_id)
     throw std::runtime_error("event '" + def.name + "' delivered to a thread of another class");
 
   const Word cevnt = evw::make_existing(dst, tid, label, m.nops);
-  Logger::log(LogLevel::kDebug, start, "[NWID %u][TID %u] %s (%u ops)", dst, tid,
-              def.name.c_str(), m.nops);
-  Ctx ctx(*this, m, start, tid, cevnt, state);
+  UDSIM_LOG(LogLevel::kDebug, start, "[NWID %u][TID %u] %s (%u ops)", dst, tid,
+            def.name.c_str(), m.nops);
+  Ctx ctx(*this, lane, m, start, tid, cevnt, state);
   def.invoke(ctx, state);
 
   const std::uint64_t cost = ctx.charged() + 1;  // +1: Thread Yield at return
@@ -107,17 +110,14 @@ void Machine::exec_message(Message& m, Tick arrive) {
 }
 
 void Machine::exec_dram(DramRequest& r, Tick arrive) {
-  const PhysLoc first = memory_.translate(r.addr);
   const std::uint32_t data_bytes = r.nwords * 8u + cfg_.msg_header_bytes;
-  const Tick ready = dram_.service(arrive, first.node, data_bytes);
+  const Tick ready = dram_.service(arrive, r.dst_node, data_bytes);
 
   if (r.is_write) {
-    for (unsigned i = 0; i < r.nwords; ++i)
-      memory_.write_word_phys(memory_.translate(r.addr + 8ull * i), r.data[i]);
+    memory_.write_words(r.addr, r.data.data(), r.nwords);
     stats_.dram_writes++;
   } else {
-    for (unsigned i = 0; i < r.nwords; ++i)
-      r.data[i] = memory_.read_word_phys(memory_.translate(r.addr + 8ull * i));
+    memory_.read_words(r.addr, r.data.data(), r.nwords);
     stats_.dram_reads++;
   }
   stats_.dram_bytes += r.nwords * 8u;
@@ -128,7 +128,7 @@ void Machine::exec_dram(DramRequest& r, Tick arrive) {
     resp.cont = r.reply_cont;
     resp.nops = r.is_write ? 0 : r.nwords;
     if (!r.is_write) resp.ops = r.data;
-    resp.src = first_lane_of_node(first.node);
+    resp.src = first_lane_of_node(r.dst_node);
     route_message(std::move(resp), ready);
   }
   if (ready > now_) now_ = ready;
@@ -136,13 +136,17 @@ void Machine::exec_dram(DramRequest& r, Tick arrive) {
 
 bool Machine::step() {
   if (queue_.empty()) return false;
-  QItem item = queue_.top();
-  queue_.pop();
-  if (item.t > now_) now_ = item.t;
-  if (item.kind == QItem::kMsg)
-    exec_message(item.msg, item.t);
-  else
-    exec_dram(item.dram, item.t);
+  const QEntry e = queue_.pop();
+  if (e.t > now_) now_ = e.t;
+  if (e.kind == kMsg) {
+    // The pooled payload stays in place through execution; handlers may
+    // acquire new slots (slabs are stable), and the slot is recycled after.
+    exec_message(msg_pool_[e.index], e.t);
+    msg_pool_.release(e.index);
+  } else {
+    exec_dram(dram_pool_[e.index], e.t);
+    dram_pool_.release(e.index);
+  }
   return true;
 }
 
@@ -151,10 +155,19 @@ void Machine::run() {
   }
 }
 
+EngineStats Machine::engine_stats() const {
+  EngineStats es;
+  es.far_events = queue_.stats().far_events;
+  es.bucket_sorts = queue_.stats().bucket_sorts;
+  es.msg_pool_capacity = msg_pool_.capacity();
+  es.dram_pool_capacity = dram_pool_.capacity();
+  return es;
+}
+
 std::vector<LaneStats> Machine::lane_stats() const {
   std::vector<LaneStats> out;
   out.reserve(lanes_.size());
-  for (const auto& l : lanes_) out.push_back(l->stats);
+  for (const auto& l : lanes_) out.push_back(l.stats);
   return out;
 }
 

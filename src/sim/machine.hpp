@@ -9,7 +9,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <stdexcept>
 #include <typeindex>
 #include <unordered_map>
@@ -19,6 +18,7 @@
 #include "mem/global_memory.hpp"
 #include "sim/config.hpp"
 #include "sim/dram.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/lane.hpp"
 #include "sim/message.hpp"
 #include "sim/network.hpp"
@@ -39,18 +39,20 @@ class Machine {
   const GlobalMemory& memory() const { return memory_; }
 
   // ---- Topology / computation-location naming ------------------------------
+  // node_of/accel_of run on every routed message; the dividers are cached at
+  // construction and reduce to shifts for power-of-two lane counts.
   NetworkId nwid_of(std::uint32_t node, std::uint32_t accel, std::uint32_t lane) const {
     return node * cfg_.lanes_per_node() + accel * cfg_.lanes_per_accel + lane;
   }
-  std::uint32_t node_of(NetworkId nwid) const { return nwid / cfg_.lanes_per_node(); }
+  std::uint32_t node_of(NetworkId nwid) const { return lpn_div_.div(nwid); }
   std::uint32_t accel_of(NetworkId nwid) const {
-    return (nwid % cfg_.lanes_per_node()) / cfg_.lanes_per_accel;
+    return lpa_div_.div(lpn_div_.mod(nwid));
   }
-  std::uint32_t lane_in_accel(NetworkId nwid) const { return nwid % cfg_.lanes_per_accel; }
+  std::uint32_t lane_in_accel(NetworkId nwid) const { return lpa_div_.mod(nwid); }
   NetworkId first_lane_of_node(std::uint32_t node) const {
     return node * cfg_.lanes_per_node();
   }
-  Lane& lane(NetworkId nwid) { return *lanes_.at(nwid); }
+  Lane& lane(NetworkId nwid) { return lanes_.at(nwid); }
 
   // ---- Host (TOP core) interface --------------------------------------------
   /// Inject an event from the host; it is delivered to the target lane with
@@ -65,6 +67,8 @@ class Machine {
   /// Execute a single queued item; returns false when the queue is empty.
   bool step();
   bool idle() const { return queue_.empty(); }
+  /// Host-side gauges of the event engine (queue/pool behavior).
+  EngineStats engine_stats() const;
 
   Tick now() const { return now_; }
 
@@ -114,33 +118,27 @@ class Machine {
  private:
   friend class Ctx;
 
-  struct QItem {
-    Tick t;
-    std::uint64_t seq;
-    enum Kind : std::uint8_t { kMsg, kDram } kind;
-    Message msg;
-    DramRequest dram;
-  };
-  struct QItemGreater {
-    bool operator()(const QItem& a, const QItem& b) const {
-      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
-    }
-  };
+  enum Kind : std::uint8_t { kMsg, kDram };
 
-  // Internal send paths, used by Ctx and by the host interface.
+  // Internal send paths, used by Ctx and by the host interface. Payloads are
+  // parked in the slab pools; the calendar queue holds slim QEntry records.
   void route_message(Message&& m, Tick depart);
   void route_dram(DramRequest&& r, Tick depart);
   void exec_message(Message& m, Tick arrive);
   void exec_dram(DramRequest& r, Tick arrive);
-  void push(QItem&& item);
+  void enqueue(Tick t, Kind kind, std::uint32_t pool_index);
 
   MachineConfig cfg_;
   Program program_;
   GlobalMemory memory_;
   NetworkModel network_;
   DramModel dram_;
-  std::vector<std::unique_ptr<Lane>> lanes_;
-  std::priority_queue<QItem, std::vector<QItem>, QItemGreater> queue_;
+  std::vector<Lane> lanes_;  ///< by value: one indirection per event, not two
+  FastDiv lpn_div_;  ///< by lanes_per_node()
+  FastDiv lpa_div_;  ///< by lanes_per_accel
+  CalendarEventQueue queue_;
+  SlabPool<Message> msg_pool_;
+  SlabPool<DramRequest> dram_pool_;
   std::uint64_t seq_ = 0;
   std::uint64_t live_threads_ = 0;
   Tick now_ = 0;

@@ -4,10 +4,17 @@
 // six 64-bit operands (DRAM read responses are the exception and carry up to
 // eight words, matching the paper's PageRank listing where returnRead
 // receives n0..n7).
+//
+// In-flight payloads live in the Machine's recycling slab pools (see
+// sim/event_queue.hpp) from enqueue until execution; the calendar queue holds
+// only a slim {tick, seq, kind, pool index} entry. Pool slots are recycled
+// without clearing, so senders must write every field a receiver reads (the
+// operand/data arrays are only valid up to nops/nwords).
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <type_traits>
 
 #include "common/types.hpp"
 #include "sim/event_word.hpp"
@@ -36,6 +43,12 @@ struct DramRequest {
   Word reply_evw = 0;                     ///< 0 => no response (fire-and-forget write)
   Word reply_cont = IGNRCONT;             ///< continuation passed through to the reply
   NetworkId src = 0;                      ///< requesting lane
+  std::uint32_t dst_node = 0;  ///< home node of addr; cached at routing time so
+                               ///< service doesn't re-translate
 };
+
+// Pooled payloads are stored in raw slab arrays and assigned by value.
+static_assert(std::is_trivially_copyable_v<Message>);
+static_assert(std::is_trivially_copyable_v<DramRequest>);
 
 }  // namespace updown

@@ -21,7 +21,11 @@ namespace updown {
 class NetworkModel {
  public:
   explicit NetworkModel(const MachineConfig& cfg)
-      : cfg_(cfg), inject_free_(cfg.nodes, 0.0), bisection_free_(0.0) {
+      : cfg_(cfg),
+        lpn_div_(cfg.lanes_per_node()),
+        lpa_div_(cfg.lanes_per_accel),
+        inject_free_(cfg.nodes, 0.0),
+        bisection_free_(0.0) {
     // Pick group shifts so that nodes are split into ~cube-root-sized tiers:
     // same L1 group => 1 hop, same L2 group => 2 hops, else 3 hops.
     const unsigned bits = cfg.nodes > 1 ? log2_exact(next_pow2(cfg.nodes)) : 0;
@@ -46,13 +50,12 @@ class NetworkModel {
   /// Latency and bandwidth-queued arrival time of a message of `bytes` sent
   /// at `depart` from lane `src` to lane `dst` (both global lane ids).
   Tick arrival(Tick depart, NetworkId src, NetworkId dst, std::uint32_t bytes) {
-    const std::uint32_t lpn = cfg_.lanes_per_node();
-    const std::uint32_t node_s = src / lpn;
-    const std::uint32_t node_d = dst / lpn;
+    const std::uint32_t node_s = lpn_div_.div(src);
+    const std::uint32_t node_d = lpn_div_.div(dst);
     if (node_s == node_d) {
       if (src == dst) return depart + cfg_.lat_same_lane;
-      const std::uint32_t accel_s = src / cfg_.lanes_per_accel;
-      const std::uint32_t accel_d = dst / cfg_.lanes_per_accel;
+      const std::uint32_t accel_s = lpa_div_.div(src);
+      const std::uint32_t accel_d = lpa_div_.div(dst);
       return depart + (accel_s == accel_d ? cfg_.lat_intra_accel : cfg_.lat_intra_node);
     }
     // Cross-node: injection token bucket at the source node, optional
@@ -78,6 +81,8 @@ class NetworkModel {
 
  private:
   const MachineConfig& cfg_;
+  FastDiv lpn_div_;  ///< by lanes_per_node(): node of a global lane id
+  FastDiv lpa_div_;  ///< by lanes_per_accel: accelerator of a global lane id
   std::vector<double> inject_free_;  ///< per-node injection next-free time
   double bisection_free_;
   unsigned l1_shift_ = 0, l2_shift_ = 1;

@@ -33,8 +33,19 @@ struct MachineStats {
   std::uint64_t threads_created = 0;
   std::uint64_t threads_destroyed = 0;
   std::uint64_t max_live_threads = 0;
+  std::uint64_t max_queue_depth = 0;  ///< peak pending events in the calendar queue
 
   void reset() { *this = MachineStats{}; }
+};
+
+/// Host-side gauges of the event engine itself (not simulated quantities):
+/// how the calendar queue and payload pools behaved over a run. Surfaced by
+/// the micro_sim throughput benchmark.
+struct EngineStats {
+  std::uint64_t far_events = 0;        ///< pushes beyond the calendar window
+  std::uint64_t bucket_sorts = 0;      ///< lazy calendar-bucket sorts
+  std::uint32_t msg_pool_capacity = 0;   ///< message slots ever allocated
+  std::uint32_t dram_pool_capacity = 0;  ///< DRAM-request slots ever allocated
 };
 
 /// Aggregate view over per-lane activity.

@@ -26,8 +26,16 @@ namespace updown {
 
 class Ctx {
  public:
-  Ctx(Machine& m, Message& msg, Tick start, ThreadId tid, Word cevnt, ThreadState& state)
-      : m_(m), msg_(msg), start_(start), tid_(tid), cevnt_(cevnt), state_(state) {}
+  Ctx(Machine& m, Lane& lane, Message& msg, Tick start, ThreadId tid, Word cevnt,
+      ThreadState& state)
+      : m_(m),
+        lane_(lane),
+        msg_(msg),
+        start_(start),
+        tid_(tid),
+        cevnt_(cevnt),
+        nwid_(evw::nwid(cevnt)),
+        state_(state) {}
 
   Ctx(const Ctx&) = delete;
   Ctx& operator=(const Ctx&) = delete;
@@ -35,7 +43,7 @@ class Ctx {
   // ---- Introspection ---------------------------------------------------------
   Machine& machine() { return m_; }
   GlobalMemory& memory() { return m_.memory(); }
-  NetworkId nwid() const { return evw::nwid(cevnt_); }
+  NetworkId nwid() const { return nwid_; }
   ThreadId tid() const { return tid_; }
   /// CEVNT: the event word of the currently executing event (existing-thread
   /// form, so evw_update_event(cevnt(), label) addresses this same thread).
@@ -77,7 +85,7 @@ class Ctx {
     for (std::size_t i = 0; i < n; ++i) m.ops[i] = ops[i];
     m.src = nwid();
     charge(n > 3 ? 2 : 1);  // Send Message: 1-2 cycles
-    m_.lane(nwid()).stats.messages_sent++;
+    lane_.stats.messages_sent++;
     m_.route_message(std::move(m), now());
   }
 
@@ -93,7 +101,7 @@ class Ctx {
     for (Word w : ops) m.ops[i++] = w;
     m.src = nwid();
     charge(1);
-    m_.lane(nwid()).stats.messages_sent++;
+    lane_.stats.messages_sent++;
     m_.route_message(std::move(m), now() + delay);
   }
 
@@ -150,20 +158,20 @@ class Ctx {
   Word sp_read(std::uint64_t offset) {
     charge(1);
     Word v;
-    std::memcpy(&v, m_.lane(nwid()).scratchpad() + offset, sizeof(Word));
+    std::memcpy(&v, lane_.scratchpad() + offset, sizeof(Word));
     return v;
   }
   void sp_write(std::uint64_t offset, Word v) {
     charge(1);
-    std::memcpy(m_.lane(nwid()).scratchpad() + offset, &v, sizeof(Word));
+    std::memcpy(lane_.scratchpad() + offset, &v, sizeof(Word));
   }
   /// Raw scratchpad pointer for bulk operations; caller must charge()
   /// explicitly (1 cycle per word touched).
-  std::uint8_t* scratch() { return m_.lane(nwid()).scratchpad(); }
+  std::uint8_t* scratch() { return lane_.scratchpad(); }
   std::uint64_t sp_alloc(std::uint64_t bytes, std::uint64_t align = 8) {
-    return m_.lane(nwid()).sp_alloc(bytes, align);
+    return lane_.sp_alloc(bytes, align);
   }
-  Lane& lane() { return m_.lane(nwid()); }
+  Lane& lane() { return lane_; }
 
   // ---- Control ---------------------------------------------------------------
   /// Charge `cycles` of handler-local compute.
@@ -179,7 +187,7 @@ class Ctx {
 
   /// Trace in the paper's [BASIM_PRINT]-style format (tick-prefixed).
   void log(const char* fmt, ...) const {
-    if (Logger::level() < LogLevel::kInfo) return;
+    if (!Logger::enabled(LogLevel::kInfo)) return;
     std::fprintf(stderr, "[UDSIM] %llu: [NWID %u][TID %u] ",
                  static_cast<unsigned long long>(now()), nwid(), tid_);
     va_list args;
@@ -191,10 +199,12 @@ class Ctx {
 
  private:
   Machine& m_;
+  Lane& lane_;
   Message& msg_;
   Tick start_;
   ThreadId tid_;
   Word cevnt_;
+  NetworkId nwid_;
   ThreadState& state_;
   std::uint64_t charged_ = 0;
   bool terminate_ = false;

@@ -7,16 +7,21 @@
 //
 // The Program registry assigns each event a small integer label — the
 // paper's "event label, the address of the event in the program" — which is
-// packed into event words.
+// packed into event words. Each thread class likewise gets a small integer
+// class id, stamped into every ThreadState it creates, so the per-event
+// "right thread class?" check is one integer compare instead of an RTTI
+// type_index comparison.
 #pragma once
 
 #include <cassert>
 #include <functional>
 #include <memory>
+#include <new>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <typeindex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -28,13 +33,20 @@ class Ctx;
 /// Base class for all UDWeave thread state.
 struct ThreadState {
   virtual ~ThreadState() = default;
+  /// Program-assigned id of the concrete thread class; stamped by the event
+  /// factory at allocation so event dispatch avoids RTTI.
+  std::uint32_t ud_class_id = 0;
 };
 
 struct EventDef {
   std::string name;
   std::function<std::unique_ptr<ThreadState>()> factory;
   std::function<void(Ctx&, ThreadState&)> invoke;
-  std::type_index type;
+  /// Destroy + placement-new the state back to freshly-constructed form, so
+  /// lanes can recycle thread contexts without a heap round trip. Only valid
+  /// on states whose dynamic type matches this event's thread class.
+  void (*reinit)(ThreadState&) = nullptr;
+  std::uint32_t type_id = 0;  ///< class id of the thread class owning the event
 };
 
 /// Registry of all events in a loaded UpDown program. Labels are stable for
@@ -45,7 +57,7 @@ class Program {
   Program() {
     // Label 0 is reserved so that IGNRCONT (the all-zero word) can never be
     // confused with a valid continuation event word.
-    defs_.push_back(EventDef{"<invalid>", nullptr, nullptr, std::type_index(typeid(void))});
+    defs_.push_back(EventDef{"<invalid>", nullptr, nullptr, nullptr, 0});
   }
 
   /// Register `fn` as the handler for event `name` of thread class T.
@@ -55,13 +67,24 @@ class Program {
                   "UDWeave thread classes must derive from ThreadState");
     if (defs_.size() >= 4096)
       throw std::length_error("Program: event label space (12 bits) exhausted");
-    EventDef def{std::move(name), []() -> std::unique_ptr<ThreadState> {
-                   return std::make_unique<T>();
+    const std::uint32_t tid = class_id(std::type_index(typeid(T)));
+    EventDef def{std::move(name),
+                 [tid]() -> std::unique_ptr<ThreadState> {
+                   auto p = std::make_unique<T>();
+                   p->ud_class_id = tid;
+                   return p;
                  },
                  [fn](Ctx& ctx, ThreadState& st) { (static_cast<T&>(st).*fn)(ctx); },
-                 std::type_index(typeid(T))};
+                 [](ThreadState& st) {
+                   T& t = static_cast<T&>(st);
+                   t.~T();
+                   new (static_cast<void*>(&t)) T();
+                 },
+                 tid};
     defs_.push_back(std::move(def));
-    return static_cast<EventLabel>(defs_.size() - 1);
+    const EventLabel label = static_cast<EventLabel>(defs_.size() - 1);
+    name_index_.emplace(defs_.back().name, label);  // first registration wins
+    return label;
   }
 
   const EventDef& def(EventLabel label) const {
@@ -70,17 +93,27 @@ class Program {
     return defs_[label];
   }
 
-  /// Look an event up by name (setup-time convenience; O(n)).
+  /// Look an event up by name (first event registered under that name).
   EventLabel label(std::string_view name) const {
-    for (std::size_t i = 1; i < defs_.size(); ++i)
-      if (defs_[i].name == name) return static_cast<EventLabel>(i);
-    throw std::out_of_range("Program: no event named '" + std::string(name) + "'");
+    auto it = name_index_.find(std::string(name));
+    if (it == name_index_.end())
+      throw std::out_of_range("Program: no event named '" + std::string(name) + "'");
+    return it->second;
   }
 
   std::size_t size() const { return defs_.size() - 1; }
 
  private:
+  std::uint32_t class_id(std::type_index type) {
+    auto [it, inserted] = class_ids_.emplace(type, next_class_id_);
+    if (inserted) ++next_class_id_;
+    return it->second;
+  }
+
   std::vector<EventDef> defs_;
+  std::unordered_map<std::string, EventLabel> name_index_;
+  std::unordered_map<std::type_index, std::uint32_t> class_ids_;
+  std::uint32_t next_class_id_ = 1;  ///< 0 reserved for "<invalid>"
 };
 
 }  // namespace updown

@@ -3,6 +3,7 @@
 // simulated timing results reproducible at all.
 #include <gtest/gtest.h>
 
+#include "apps/bfs.hpp"
 #include "apps/pagerank.hpp"
 #include "apps/tc.hpp"
 #include "graph/generators.hpp"
@@ -47,6 +48,45 @@ RunFingerprint run_tc() {
 
 TEST(Determinism, TriangleCountRunsAreBitIdentical) {
   EXPECT_EQ(run_tc(), run_tc());
+}
+
+// Golden fingerprints captured from the seed binary-heap event engine. The
+// calendar-queue engine must reproduce every count and tick exactly — any
+// drift here means the (tick, seq) total order changed, which silently
+// invalidates all simulated timing results. Update only with a side-by-side
+// run against the previous engine showing both produce the new numbers.
+TEST(Determinism, PageRankGoldenCounts) {
+  Machine m(MachineConfig::scaled(4));
+  Graph g = rmat(9, {}, 77);
+  SplitGraph sg = split_vertices(g, 32);
+  DeviceGraph dg = upload_split_graph(m, sg);
+  pr::Result r = pr::App::install(m, dg, sg, {.iterations = 2}).run();
+  const MachineStats& s = m.stats();
+  EXPECT_EQ(r.done_tick, 38512u);
+  EXPECT_EQ(s.events_executed, 27893u);
+  EXPECT_EQ(s.messages_sent, 27893u);
+  EXPECT_EQ(s.dram_reads, 7012u);
+  EXPECT_EQ(s.dram_writes, 3010u);
+  EXPECT_EQ(s.threads_created, 14657u);
+  EXPECT_EQ(s.charged_cycles, 187382u);
+  EXPECT_EQ(s.message_bytes, 991968u);
+}
+
+TEST(Determinism, BfsGoldenCounts) {
+  Machine m(MachineConfig::scaled(4));
+  Graph g = rmat(9, {.symmetrize = true}, 13);
+  DeviceGraph dg = upload_graph(m, g);
+  bfs::Result r = bfs::App::install(m, dg, {.root = 1}).run();
+  const MachineStats& s = m.stats();
+  EXPECT_EQ(r.done_tick, 33029u);
+  EXPECT_EQ(s.events_executed, 16410u);
+  EXPECT_EQ(s.messages_sent, 16410u);
+  EXPECT_EQ(s.dram_reads, 2098u);
+  EXPECT_EQ(s.dram_writes, 918u);
+  EXPECT_EQ(s.threads_created, 11453u);
+  EXPECT_EQ(s.charged_cycles, 124138u);
+  EXPECT_EQ(r.rounds, 4u);
+  EXPECT_EQ(r.traversed_edges, 9514u);
 }
 
 }  // namespace
