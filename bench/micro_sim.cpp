@@ -159,10 +159,13 @@ struct ThroughputResult {
   double events_per_sec = 0.0;
   EngineStats engine;
   std::uint64_t max_queue_depth = 0;
+  bool checker_enabled = false;
 };
 
-ThroughputResult run_throughput_workload() {
-  Machine m(MachineConfig::scaled(8));
+ThroughputResult run_throughput_workload(bool check = false) {
+  MachineConfig cfg = MachineConfig::scaled(8);
+  cfg.check = check;
+  Machine m(cfg);
   auto& app = m.emplace_user<ChainApp>();
   app.hop = m.program().event("TChain::hop", &TChain::hop);
   app.dram_hop = m.program().event("TDramChain::start", &TDramChain::start);
@@ -193,10 +196,19 @@ ThroughputResult run_throughput_workload() {
   r.events_per_sec = r.wall_seconds > 0 ? r.events / r.wall_seconds : 0.0;
   r.engine = m.engine_stats();
   r.max_queue_depth = m.stats().max_queue_depth;
+  r.checker_enabled = m.stats().check.enabled;  // env UD_CHECK=1 can force it on
   return r;
 }
 
-void throughput_report() {
+/// Checker-off throughput recorded when the udcheck hook sites landed (each
+/// hook is one null test on the disabled path). The guard below asserts the
+/// disabled-checker path stays within 2% of this on comparable hardware;
+/// absolute events/s varies across machines, so the hard failure is opt-in
+/// via UD_BENCH_ENFORCE=1 (set it when running on the reference box).
+constexpr double kBaselineEventsPerSec = 11018594.0;
+constexpr double kMaxCheckerOffRegressPct = 2.0;
+
+int throughput_report() {
   // Best of five: wall-clock noise rejection, standard for host-side timing.
   const int kReps = 5;
   ThroughputResult best;
@@ -204,11 +216,29 @@ void throughput_report() {
     ThroughputResult r = run_throughput_workload();
     if (r.events_per_sec > best.events_per_sec) best = r;
   }
+  // Checked-mode throughput (informative): the same workload under UD_CHECK.
+  ThroughputResult checked;
+  for (int i = 0; i < 3; ++i) {
+    ThroughputResult r = run_throughput_workload(/*check=*/true);
+    if (r.events_per_sec > checked.events_per_sec) checked = r;
+  }
+
+  const double vs_baseline_pct =
+      (kBaselineEventsPerSec - best.events_per_sec) / kBaselineEventsPerSec * 100.0;
+  const double checker_cost_pct =
+      best.events_per_sec > 0
+          ? (best.events_per_sec - checked.events_per_sec) / best.events_per_sec * 100.0
+          : 0.0;
 
   std::printf("\n=== micro_sim host throughput ===\n");
   std::printf("simulated events      %llu\n", (unsigned long long)best.events);
   std::printf("wall seconds (best/%d) %.4f\n", kReps, best.wall_seconds);
-  std::printf("events / second       %.0f\n", best.events_per_sec);
+  std::printf("events / second       %.0f%s\n", best.events_per_sec,
+              best.checker_enabled ? "  (UD_CHECK forced on: not a baseline)" : "");
+  std::printf("events / second (UD_CHECK=1) %.0f  (checker cost %.1f%%)\n",
+              checked.events_per_sec, checker_cost_pct);
+  std::printf("vs PR-1 baseline      %+.2f%% (baseline %.0f ev/s, limit %.1f%%)\n",
+              -vs_baseline_pct, kBaselineEventsPerSec, kMaxCheckerOffRegressPct);
   std::printf("final simulated tick  %llu\n", (unsigned long long)best.final_tick);
   std::printf("max queue depth       %llu\n", (unsigned long long)best.max_queue_depth);
   std::printf("far-heap events       %llu\n", (unsigned long long)best.engine.far_events);
@@ -216,7 +246,7 @@ void throughput_report() {
   FILE* f = std::fopen("BENCH_micro_sim.json", "w");
   if (!f) {
     std::fprintf(stderr, "micro_sim: cannot write BENCH_micro_sim.json\n");
-    return;
+    return 1;
   }
   std::fprintf(f,
                "{\n"
@@ -229,6 +259,10 @@ void throughput_report() {
                "  \"final_tick\": %llu,\n"
                "  \"wall_seconds\": %.6f,\n"
                "  \"events_per_sec\": %.0f,\n"
+               "  \"events_per_sec_checked\": %.0f,\n"
+               "  \"checker_cost_pct\": %.2f,\n"
+               "  \"baseline_events_per_sec\": %.0f,\n"
+               "  \"vs_baseline_regress_pct\": %.2f,\n"
                "  \"max_queue_depth\": %llu,\n"
                "  \"engine\": {\n"
                "    \"far_events\": %llu,\n"
@@ -239,13 +273,25 @@ void throughput_report() {
                "}\n",
                kReps, (unsigned long long)best.events, (unsigned long long)best.messages,
                (unsigned long long)best.dram_accesses, (unsigned long long)best.final_tick,
-               best.wall_seconds, best.events_per_sec,
+               best.wall_seconds, best.events_per_sec, checked.events_per_sec,
+               checker_cost_pct, kBaselineEventsPerSec, vs_baseline_pct,
                (unsigned long long)best.max_queue_depth,
                (unsigned long long)best.engine.far_events,
                (unsigned long long)best.engine.bucket_sorts, best.engine.msg_pool_capacity,
                best.engine.dram_pool_capacity);
   std::fclose(f);
   std::printf("wrote BENCH_micro_sim.json\n");
+
+  if (std::getenv("UD_BENCH_ENFORCE") && !best.checker_enabled &&
+      vs_baseline_pct > kMaxCheckerOffRegressPct) {
+    std::fprintf(stderr,
+                 "micro_sim: FAIL: checker-off throughput %.0f ev/s is %.2f%% below "
+                 "the PR-1 baseline %.0f (limit %.1f%%)\n",
+                 best.events_per_sec, vs_baseline_pct, kBaselineEventsPerSec,
+                 kMaxCheckerOffRegressPct);
+    return 1;
+  }
+  return 0;
 }
 }  // namespace
 
@@ -254,6 +300,5 @@ int main(int argc, char** argv) {
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
-  throughput_report();
-  return 0;
+  return throughput_report();
 }

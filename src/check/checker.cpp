@@ -1,0 +1,703 @@
+#include "check/checker.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/strfmt.hpp"
+#include "sim/machine.hpp"
+
+namespace updown {
+
+namespace {
+constexpr unsigned kPlainMessageOperands = 6;  ///< 64B msg: evw + cont + 6 words
+}  // namespace
+
+const char* check_kind_name(CheckKind k) {
+  switch (k) {
+    case CheckKind::kDataRace: return "data-race";
+    case CheckKind::kSpRace: return "sp-race";
+    case CheckKind::kOutOfBounds: return "out-of-bounds";
+    case CheckKind::kUseAfterFree: return "use-after-free";
+    case CheckKind::kBadFree: return "bad-free";
+    case CheckKind::kSendToDeadThread: return "send-to-dead-thread";
+    case CheckKind::kStaleDelivery: return "stale-delivery";
+    case CheckKind::kBadEventWord: return "bad-event-word";
+    case CheckKind::kOperandOverflow: return "operand-overflow";
+    case CheckKind::kLeakedThread: return "leaked-thread";
+    case CheckKind::kUndeliveredMessages: return "undelivered-messages";
+    case CheckKind::kLeakedAllocation: return "leaked-allocation";
+    case CheckKind::kUnfiredContinuation: return "unfired-continuation";
+  }
+  return "unknown";
+}
+
+Checker::Checker(Machine& m, bool sp_strict)
+    : m_(m), sp_strict_(sp_strict), slot_lt_(m.config().total_lanes()) {
+  lifetimes_.emplace_back();  // [0] = the host (TOP core), alive forever
+}
+
+Checker::~Checker() = default;
+
+// ---- Clock algebra ---------------------------------------------------------
+
+std::uint32_t Checker::vc_get(const VC& vc, LifetimeId lt) {
+  auto it = std::lower_bound(vc.begin(), vc.end(), lt,
+                             [](const VCEntry& e, LifetimeId v) { return e.lt < v; });
+  return (it != vc.end() && it->lt == lt) ? it->epoch : 0;
+}
+
+bool Checker::prunable(LifetimeId lt) const {
+  if (lt == kHostLifetime) return false;
+  const Lifetime& l = lifetimes_[lt];
+  return !l.alive && l.refs == 0;
+}
+
+bool Checker::ordered(const Stamp& a, LifetimeId lt, const VC& vc) const {
+  if (a.era < era_) return true;  // a full drain is a global barrier
+  if (a.lt == lt) return true;    // same lifetime: lane-serialized chain
+  return vc_get(vc, a.lt) >= a.epoch;
+}
+
+bool Checker::merge_vc(VC& dst, const VC& src, LifetimeId self) {
+  bool changed = false;
+  VC out;
+  out.reserve(dst.size() + src.size());
+  auto i = dst.begin();
+  auto j = src.begin();
+  while (i != dst.end() || j != src.end()) {
+    if (j == src.end() || (i != dst.end() && i->lt < j->lt)) {
+      // Merges double as the pruning pass: entries for dead lifetimes with
+      // no outstanding stamps can never be compared again.
+      if (prunable(i->lt)) changed = true;
+      else out.push_back(*i);
+      ++i;
+    } else if (i == dst.end() || j->lt < i->lt) {
+      if (j->lt != self && !prunable(j->lt)) {
+        out.push_back(*j);
+        changed = true;
+      }
+      ++j;
+    } else {
+      if (prunable(i->lt)) {
+        changed = true;
+      } else {
+        VCEntry e = *i;
+        if (j->epoch > e.epoch) {
+          e.epoch = j->epoch;
+          changed = true;
+        }
+        out.push_back(e);
+      }
+      ++i;
+      ++j;
+    }
+  }
+  if (changed) dst = std::move(out);
+  return changed;
+}
+
+bool Checker::vc_upsert(VC& vc, LifetimeId lt, std::uint32_t epoch) {
+  auto it = std::lower_bound(vc.begin(), vc.end(), lt,
+                             [](const VCEntry& e, LifetimeId v) { return e.lt < v; });
+  if (it == vc.end() || it->lt != lt) {
+    vc.insert(it, VCEntry{lt, epoch});
+    return true;
+  }
+  if (it->epoch < epoch) {
+    it->epoch = epoch;
+    return true;
+  }
+  return false;
+}
+
+void Checker::join_into(LifetimeId dst_id, const Snapshot& snap, const Stamp& src) {
+  Lifetime& dst = lifetimes_[dst_id];
+  bool changed = false;
+  if (snap && !snap->empty()) changed = merge_vc(dst.vc, *snap, dst_id);
+  if (src.lt != dst_id && src.lt != kNoLifetime && !prunable(src.lt))
+    changed |= vc_upsert(dst.vc, src.lt, src.epoch);
+  if (changed) dst.snap.reset();
+}
+
+const Checker::Snapshot& Checker::snapshot_of(LifetimeId lt) {
+  Lifetime& l = lifetimes_[lt];
+  if (!l.snap) l.snap = std::make_shared<const VC>(l.vc);
+  return l.snap;
+}
+
+void Checker::stamp_ref(LifetimeId lt) {
+  if (lt != kHostLifetime && lt != kNoLifetime) ++lifetimes_[lt].refs;
+}
+
+void Checker::stamp_unref(LifetimeId lt) {
+  if (lt != kHostLifetime && lt != kNoLifetime) --lifetimes_[lt].refs;
+}
+
+void Checker::set_stamp(Stamp& slot, const Stamp& s) {
+  stamp_ref(s.lt);
+  stamp_unref(slot.lt);
+  slot = s;
+}
+
+void Checker::add_reader(ShadowCell& cell, const Stamp& s) {
+  for (Stamp& r : cell.readers) {
+    if (r.lt == s.lt) {  // same chain: the newer epoch supersedes
+      r = s;
+      return;
+    }
+  }
+  if (cell.readers.size() >= kMaxReaders) {
+    stamp_unref(cell.readers.front().lt);
+    cell.readers.erase(cell.readers.begin());
+  }
+  stamp_ref(s.lt);
+  cell.readers.push_back(s);
+}
+
+// ---- Lifetimes -------------------------------------------------------------
+
+Checker::LifetimeId Checker::new_lifetime(NetworkId nwid, ThreadId tid, EventLabel label,
+                                          Tick t) {
+  lifetimes_.emplace_back();
+  Lifetime& l = lifetimes_.back();
+  l.nwid = nwid;
+  l.tid = tid;
+  l.create_label = label;
+  l.created_at = t;
+  return static_cast<LifetimeId>(lifetimes_.size() - 1);
+}
+
+Checker::LifetimeId& Checker::slot_lifetime(NetworkId nwid, ThreadId tid) {
+  auto& v = slot_lt_[nwid];
+  if (tid >= v.size()) v.resize(static_cast<std::size_t>(tid) + 1, kNoLifetime);
+  return v[tid];
+}
+
+bool Checker::slot_alive(NetworkId nwid, ThreadId tid) const {
+  if (nwid >= slot_lt_.size()) return false;
+  const auto& v = slot_lt_[nwid];
+  if (tid >= v.size()) return false;
+  const LifetimeId lt = v[tid];
+  return lt != kNoLifetime && lifetimes_[lt].alive;
+}
+
+// ---- Diagnostics -----------------------------------------------------------
+
+std::string Checker::ev_name(EventLabel label) const {
+  if (label == 0 || label > m_.program().size()) return strfmt("<label %u>", label);
+  return m_.program().def(label).name;
+}
+
+std::string Checker::where(const Stamp& s) const {
+  if (s.lt == kHostLifetime)
+    return strfmt("host send @%llu", static_cast<unsigned long long>(s.tick));
+  const Lifetime& l = lifetimes_[s.lt];
+  return strfmt("[NWID %u][TID %u] %s @%llu", l.nwid, l.tid, ev_name(s.label).c_str(),
+                static_cast<unsigned long long>(s.tick));
+}
+
+void Checker::diag(CheckDiagnostic d) {
+  if (diags_.size() >= kMaxStoredDiags) {
+    ++dropped_diags_;
+    return;
+  }
+  std::fprintf(stderr, "[UDCHECK] %s %s: %s\n", d.error ? "ERROR" : "warning",
+               check_kind_name(d.kind), d.message.c_str());
+  diags_.push_back(std::move(d));
+}
+
+Checker::MsgMeta& Checker::msg_meta(std::uint32_t idx) {
+  if (idx >= msg_meta_.size()) msg_meta_.resize(static_cast<std::size_t>(idx) + 1);
+  return msg_meta_[idx];
+}
+
+Checker::DramMeta& Checker::dram_meta(std::uint32_t idx) {
+  if (idx >= dram_meta_.size()) dram_meta_.resize(static_cast<std::size_t>(idx) + 1);
+  return dram_meta_[idx];
+}
+
+// ---- Continuation obligations ----------------------------------------------
+
+void Checker::register_cont(Word cont, NetworkId lane, Tick t) {
+  PendingCont& p = pending_conts_[cont];
+  if (p.count == 0) {
+    p.first_tick = t;
+    p.lane = lane;
+    p.label = evw::label(cont);
+  }
+  ++p.count;
+}
+
+bool Checker::discharge_cont(Word w) {
+  auto it = pending_conts_.find(w);
+  if (it == pending_conts_.end()) return false;
+  if (--it->second.count == 0) pending_conts_.erase(it);
+  return true;
+}
+
+// ---- Routing hooks ---------------------------------------------------------
+
+void Checker::on_host_send() { origin_ = Origin::kHost; }
+
+bool Checker::on_bad_route(Word evw_word, Tick depart) {
+  ++counts_.bad_event_words;
+  Stamp s = origin_stamp_;
+  s.tick = depart;
+  diag({CheckKind::kBadEventWord, true, depart,
+        origin_ == Origin::kTask ? lifetimes_[s.lt].nwid : NetworkId{0},
+        origin_ == Origin::kTask ? lifetimes_[s.lt].tid : ThreadId{0},
+        evw::label(evw_word), 0, 0,
+        strfmt("event word 0x%llx addresses NWID %u beyond the machine's %llu lanes "
+               "(sent by %s); message dropped",
+               static_cast<unsigned long long>(evw_word), evw::nwid(evw_word),
+               static_cast<unsigned long long>(m_.config().total_lanes()),
+               origin_ == Origin::kHost ? "the host" : where(s).c_str())});
+  return true;
+}
+
+void Checker::on_route_message(std::uint32_t idx, Tick depart) {
+  MsgMeta& meta = msg_meta(idx);
+  const Message& m = m_.msg_pool_[idx];
+  meta.target = kNoLifetime;
+  meta.from_dram = false;
+  meta.cont_pending = false;
+  meta.suppress = false;
+
+  switch (origin_) {
+    case Origin::kDramReply:
+      meta.stamp = origin_stamp_;
+      meta.snap = origin_snap_;
+      meta.from_dram = true;
+      meta.cont_pending = origin_cont_pending_;
+      break;
+    case Origin::kTask: {
+      Lifetime& l = lifetimes_[origin_stamp_.lt];
+      meta.stamp = origin_stamp_;
+      meta.stamp.epoch = l.epoch;
+      meta.stamp.era = era_;
+      meta.stamp.tick = depart;
+      meta.snap = snapshot_of(origin_stamp_.lt);
+      ++l.epoch;  // release: later accesses in this task are not covered
+      break;
+    }
+    case Origin::kHost:
+    case Origin::kNone:
+    default: {
+      Lifetime& h = lifetimes_[kHostLifetime];
+      meta.stamp = Stamp{kHostLifetime, h.epoch, era_, 0, depart};
+      meta.snap = snapshot_of(kHostLifetime);
+      ++h.epoch;
+      break;
+    }
+  }
+
+  if (!meta.from_dram) {
+    // Sending to a continuation word fires the obligation; passing a pending
+    // continuation along as this message's cont transfers it (the receiver
+    // re-registers it at delivery).
+    discharge_cont(m.evw);
+    if (m.cont != IGNRCONT) discharge_cont(m.cont);
+
+    if (m.nops > kPlainMessageOperands) {
+      ++counts_.operand_overflows;
+      diag({CheckKind::kOperandOverflow, true, depart, evw::nwid(m.evw), evw::tid(m.evw),
+            evw::label(m.evw), 0, 0,
+            strfmt("message to %s carries %u operands; plain messages are 64 bytes "
+                   "(6 operands max, only DRAM replies carry 8) — sent by %s",
+                   ev_name(evw::label(m.evw)).c_str(), m.nops, where(meta.stamp).c_str())});
+    }
+  }
+
+  if (!evw::is_new_thread(m.evw)) {
+    const NetworkId dst = evw::nwid(m.evw);
+    const ThreadId tid = evw::tid(m.evw);
+    if (!slot_alive(dst, tid)) {
+      ++counts_.dead_thread_sends;
+      diag({CheckKind::kSendToDeadThread, true, depart, dst, tid, evw::label(m.evw), 0, 0,
+            strfmt("event %s addressed to dead thread context [NWID %u][TID %u] "
+                   "(sent by %s); delivery suppressed",
+                   ev_name(evw::label(m.evw)).c_str(), dst, tid,
+                   where(meta.stamp).c_str())});
+      meta.suppress = true;
+    } else {
+      meta.target = slot_lt_[dst][tid];
+    }
+  }
+}
+
+void Checker::on_route_dram(std::uint32_t idx, bool addr_mapped, Tick depart) {
+  DramMeta& meta = dram_meta(idx);
+  const DramRequest& r = m_.dram_pool_[idx];
+  switch (origin_) {
+    case Origin::kTask: {
+      Lifetime& l = lifetimes_[origin_stamp_.lt];
+      meta.stamp = origin_stamp_;
+      meta.stamp.epoch = l.epoch;
+      meta.stamp.era = era_;
+      meta.stamp.tick = depart;
+      meta.snap = snapshot_of(origin_stamp_.lt);
+      ++l.epoch;
+      break;
+    }
+    default: {  // DRAM traffic normally originates in tasks; host is the fallback
+      Lifetime& h = lifetimes_[kHostLifetime];
+      meta.stamp = Stamp{kHostLifetime, h.epoch, era_, 0, depart};
+      meta.snap = snapshot_of(kHostLifetime);
+      ++h.epoch;
+      break;
+    }
+  }
+  meta.addr_mapped = addr_mapped;
+  meta.cont_pending =
+      r.reply_evw != 0 && r.reply_cont != IGNRCONT && discharge_cont(r.reply_cont);
+  // The in-flight request pins the requester's lifetime: its clock entries in
+  // other threads must survive until the access is stamped into shadow state,
+  // or a prune would turn an ordered access into a false race.
+  stamp_ref(meta.stamp.lt);
+  meta.holds_ref = true;
+}
+
+// ---- Delivery / execution hooks --------------------------------------------
+
+bool Checker::on_pre_deliver(std::uint32_t idx, Tick start) {
+  MsgMeta& meta = msg_meta(idx);
+  const Message& m = m_.msg_pool_[idx];
+  if (meta.suppress) {
+    meta.snap.reset();
+    return false;
+  }
+  const EventLabel label = evw::label(m.evw);
+  if (label == 0 || label > m_.program().size()) {
+    ++counts_.bad_event_words;
+    diag({CheckKind::kBadEventWord, true, start, evw::nwid(m.evw), evw::tid(m.evw), label,
+          0, 0,
+          strfmt("event word 0x%llx carries invalid label %u (program has %zu events); "
+                 "sent by %s",
+                 static_cast<unsigned long long>(m.evw), label, m_.program().size(),
+                 where(meta.stamp).c_str())});
+    meta.snap.reset();
+    return false;
+  }
+  if (!evw::is_new_thread(m.evw)) {
+    const NetworkId lane = evw::nwid(m.evw);
+    const ThreadId tid = evw::tid(m.evw);
+    if (!slot_alive(lane, tid)) {
+      ++counts_.dead_thread_sends;
+      diag({CheckKind::kSendToDeadThread, true, start, lane, tid, label, 0, 0,
+            strfmt("event %s delivered to [NWID %u][TID %u], but the thread "
+                   "terminated while the message was in flight (sent by %s)",
+                   ev_name(label).c_str(), lane, tid, where(meta.stamp).c_str())});
+      meta.snap.reset();
+      return false;
+    }
+    if (meta.target != kNoLifetime && slot_lt_[lane][tid] != meta.target) {
+      const Lifetime& cur = lifetimes_[slot_lt_[lane][tid]];
+      ++counts_.stale_deliveries;
+      diag({CheckKind::kStaleDelivery, true, start, lane, tid, label, 0, 0,
+            strfmt("stale delivery of %s to [NWID %u][TID %u]: the addressed thread "
+                   "died and its context was recycled (now a %s thread created @%llu); "
+                   "sent by %s",
+                   ev_name(label).c_str(), lane, tid, ev_name(cur.create_label).c_str(),
+                   static_cast<unsigned long long>(cur.created_at),
+                   where(meta.stamp).c_str())});
+      meta.snap.reset();
+      return false;
+    }
+  }
+  return true;
+}
+
+void Checker::on_class_mismatch(std::uint32_t idx, NetworkId lane, ThreadId tid,
+                                Tick start) {
+  MsgMeta& meta = msg_meta(idx);
+  const Message& m = m_.msg_pool_[idx];
+  const EventLabel label = evw::label(m.evw);
+  ++counts_.bad_event_words;
+  diag({CheckKind::kBadEventWord, true, start, lane, tid, label, 0, 0,
+        strfmt("event %s delivered to [NWID %u][TID %u], a thread of another class; "
+               "sent by %s — delivery suppressed",
+               ev_name(label).c_str(), lane, tid, where(meta.stamp).c_str())});
+  meta.snap.reset();
+}
+
+void Checker::on_task_begin(std::uint32_t idx, NetworkId lane, ThreadId tid,
+                            EventLabel label, Tick start, bool new_thread) {
+  MsgMeta meta = std::move(msg_meta(idx));  // take the snapshot out of the slot
+  LifetimeId lt;
+  if (new_thread) {
+    lt = new_lifetime(lane, tid, label, start);
+    slot_lifetime(lane, tid) = lt;
+  } else {
+    lt = slot_lifetime(lane, tid);
+  }
+  join_into(lt, meta.snap, meta.stamp);
+
+  const Message& m = m_.msg_pool_[idx];
+  if (m.cont != IGNRCONT && (!meta.from_dram || meta.cont_pending))
+    register_cont(m.cont, lane, start);
+
+  origin_ = Origin::kTask;
+  origin_stamp_ = Stamp{lt, lifetimes_[lt].epoch, era_, label, start};
+  origin_snap_.reset();
+}
+
+void Checker::on_task_end(NetworkId lane, ThreadId tid, bool terminated) {
+  if (terminated) {
+    const LifetimeId lt = slot_lifetime(lane, tid);
+    Lifetime& l = lifetimes_[lt];
+    l.alive = false;
+    VC().swap(l.vc);  // free the clock; outstanding stamps keep epoch/refs
+    l.snap.reset();
+  }
+  origin_ = Origin::kNone;
+}
+
+bool Checker::on_dram_exec(std::uint32_t idx, Tick now) {
+  DramMeta& meta = dram_meta(idx);
+  const DramRequest& r = m_.dram_pool_[idx];
+  const GlobalMemory& mem = m_.memory();
+
+  // 1. Lifetime sanitize: every word of the request must fall in a live
+  //    region (a request may legally span two adjacent regions only if both
+  //    are live). The common whole-request-in-one-region case is one lookup.
+  const SwizzleDescriptor* d = mem.find_live(r.addr);
+  const Addr end = r.addr + 8ull * r.nwords;
+  if (!(d && end <= d->end())) {
+    for (unsigned i = 0; i < r.nwords; ++i) {
+      const Addr va = r.addr + 8ull * i;
+      if (mem.find_live(va)) continue;
+      const char* op = r.is_write ? "write" : "read";
+      if (const FreedRegion* f = mem.find_freed(va)) {
+        ++counts_.use_after_free;
+        diag({CheckKind::kUseAfterFree, true, now,
+              meta.stamp.lt == kHostLifetime ? NetworkId{0} : lifetimes_[meta.stamp.lt].nwid,
+              meta.stamp.lt == kHostLifetime ? ThreadId{0} : lifetimes_[meta.stamp.lt].tid,
+              meta.stamp.label, va, f->alloc_seq,
+              strfmt("use-after-free: DRAM %s of %u word(s) at va=0x%llx hits freed "
+                     "region alloc #%llu [0x%llx, 0x%llx) retired by free #%llu; "
+                     "requested by %s — access suppressed",
+                     op, r.nwords, static_cast<unsigned long long>(va),
+                     static_cast<unsigned long long>(f->alloc_seq),
+                     static_cast<unsigned long long>(f->base),
+                     static_cast<unsigned long long>(f->base + f->size),
+                     static_cast<unsigned long long>(f->free_seq),
+                     where(meta.stamp).c_str())});
+      } else {
+        ++counts_.out_of_bounds;
+        diag({CheckKind::kOutOfBounds, true, now,
+              meta.stamp.lt == kHostLifetime ? NetworkId{0} : lifetimes_[meta.stamp.lt].nwid,
+              meta.stamp.lt == kHostLifetime ? ThreadId{0} : lifetimes_[meta.stamp.lt].tid,
+              meta.stamp.label, va, 0,
+              strfmt("out-of-bounds DRAM %s of %u word(s) at va=0x%llx: no live "
+                     "translation descriptor covers it; requested by %s — access "
+                     "suppressed",
+                     op, r.nwords, static_cast<unsigned long long>(va),
+                     where(meta.stamp).c_str())});
+      }
+      return false;  // one diagnostic per request; suppress the whole access
+    }
+  }
+
+  // 2. Race-check each word at the requester's send-time clock.
+  Stamp cur = meta.stamp;
+  cur.tick = now;
+  static const VC kEmptyVC;
+  const VC& vc = meta.snap ? *meta.snap : kEmptyVC;
+  for (unsigned i = 0; i < r.nwords; ++i) {
+    const Addr va = r.addr + 8ull * i;
+    check_access(dram_shadow_[va >> 3], cur, vc, r.is_write, false, va);
+  }
+  return true;
+}
+
+void Checker::begin_dram_reply(std::uint32_t idx) {
+  DramMeta& meta = dram_meta(idx);
+  origin_ = Origin::kDramReply;
+  origin_stamp_ = meta.stamp;
+  origin_snap_ = meta.snap;
+  origin_cont_pending_ = meta.cont_pending;
+}
+
+void Checker::on_dram_done(std::uint32_t idx) {
+  DramMeta& meta = dram_meta(idx);
+  if (meta.holds_ref) {
+    stamp_unref(meta.stamp.lt);
+    meta.holds_ref = false;
+  }
+  meta.snap.reset();
+  origin_ = Origin::kNone;
+  origin_snap_.reset();
+}
+
+bool Checker::on_sp_access(NetworkId lane, std::uint64_t offset, std::size_t bytes,
+                           bool is_write, Tick now) {
+  if (offset + bytes > m_.config().scratchpad_bytes) {
+    ++counts_.out_of_bounds;
+    const NetworkId nw = origin_ == Origin::kTask ? lifetimes_[origin_stamp_.lt].nwid : lane;
+    const ThreadId td = origin_ == Origin::kTask ? lifetimes_[origin_stamp_.lt].tid : 0;
+    diag({CheckKind::kOutOfBounds, true, now, nw, td, origin_stamp_.label, offset, 0,
+          strfmt("scratchpad %s at offset 0x%llx (+%zu) beyond the lane's %llu-byte "
+                 "scratchpad, in %s — access suppressed",
+                 is_write ? "write" : "read", static_cast<unsigned long long>(offset),
+                 bytes, static_cast<unsigned long long>(m_.config().scratchpad_bytes),
+                 where(origin_stamp_).c_str())});
+    return false;
+  }
+  if (sp_strict_ && origin_ == Origin::kTask) {
+    Stamp cur = origin_stamp_;
+    cur.epoch = lifetimes_[cur.lt].epoch;
+    cur.era = era_;
+    cur.tick = now;
+    const VC& vc = lifetimes_[cur.lt].vc;
+    const std::uint64_t key = (static_cast<std::uint64_t>(lane) << 32) | (offset >> 3);
+    check_access(sp_shadow_[key], cur, vc, is_write, true, offset);
+  }
+  return true;
+}
+
+void Checker::on_sync_release(NetworkId lane, std::uint64_t slot) {
+  if (origin_ != Origin::kTask) return;
+  VC& cell = sync_clocks_[(static_cast<std::uint64_t>(lane) << 32) | slot];
+  Lifetime& l = lifetimes_[origin_stamp_.lt];
+  merge_vc(cell, l.vc, kNoLifetime);
+  vc_upsert(cell, origin_stamp_.lt, l.epoch);
+  ++l.epoch;  // release: later accesses are not published through this cell
+}
+
+void Checker::on_sync_acquire(NetworkId lane, std::uint64_t slot) {
+  if (origin_ != Origin::kTask) return;
+  const auto it = sync_clocks_.find((static_cast<std::uint64_t>(lane) << 32) | slot);
+  if (it == sync_clocks_.end()) return;
+  Lifetime& l = lifetimes_[origin_stamp_.lt];
+  if (merge_vc(l.vc, it->second, origin_stamp_.lt)) l.snap.reset();
+}
+
+void Checker::check_access(ShadowCell& cell, const Stamp& cur, const VC& vc,
+                           bool is_write, bool is_sp, Addr va) {
+  const auto racy = [&](const Stamp& prev) {
+    return prev.lt != kNoLifetime && !ordered(prev, cur.lt, vc);
+  };
+  const Stamp* conflict = nullptr;
+  bool conflict_write = false;
+  if (racy(cell.write)) {
+    conflict = &cell.write;
+    conflict_write = true;
+  } else if (is_write) {
+    for (const Stamp& r : cell.readers) {
+      if (racy(r)) {
+        conflict = &r;
+        break;
+      }
+    }
+  }
+  if (conflict) {
+    std::uint64_t& counter = is_sp ? counts_.sp_races : counts_.data_races;
+    ++counter;
+    const Lifetime& l = lifetimes_[cur.lt];
+    diag({is_sp ? CheckKind::kSpRace : CheckKind::kDataRace, true, cur.tick, l.nwid,
+          l.tid, cur.label, va, 0,
+          strfmt("%s on %s %s=0x%llx: %s by %s is unordered with %s by %s",
+                 is_sp ? "ordering hazard" : "data race",
+                 is_sp ? "scratchpad" : "DRAM", is_sp ? "offset" : "va",
+                 static_cast<unsigned long long>(va), is_write ? "write" : "read",
+                 where(cur).c_str(), conflict_write ? "write" : "read",
+                 where(*conflict).c_str())});
+  }
+  if (is_write) {
+    set_stamp(cell.write, cur);
+    for (const Stamp& r : cell.readers) stamp_unref(r.lt);
+    cell.readers.clear();
+  } else {
+    add_reader(cell, cur);
+  }
+}
+
+// ---- MemoryObserver ---------------------------------------------------------
+
+void Checker::on_alloc(const SwizzleDescriptor&) {}
+
+void Checker::on_free(const SwizzleDescriptor&, std::uint64_t) {
+  // Freed VAs are never re-allocated (the VA brk only grows), so stale shadow
+  // cells in the region are harmless: any later touch is flagged as a
+  // use-after-free before the race check runs.
+}
+
+void Checker::on_bad_free(Addr base, bool double_free, const std::string& detail) {
+  ++counts_.bad_frees;
+  const std::string head = detail.substr(0, detail.find('\n'));
+  diag({CheckKind::kBadFree, true, m_.now(), 0, 0, 0, base, 0,
+        double_free ? head : head + " (never a dram_malloc result)"});
+}
+
+// ---- Reporting --------------------------------------------------------------
+
+void Checker::report() {
+  // Leaked threads: in this DSL a handler return is an implicit yield that
+  // keeps the context allocated; a thread nothing ever terminates surfaces
+  // here as a quiescence leak.
+  for (NetworkId nw = 0; nw < slot_lt_.size(); ++nw) {
+    for (ThreadId tid = 0; tid < slot_lt_[nw].size(); ++tid) {
+      const LifetimeId lt = slot_lt_[nw][tid];
+      if (lt == kNoLifetime || !lifetimes_[lt].alive) continue;
+      if (std::find(leak_reported_.begin(), leak_reported_.end(), lt) !=
+          leak_reported_.end())
+        continue;
+      leak_reported_.push_back(lt);
+      ++counts_.leaked_threads;
+      const Lifetime& l = lifetimes_[lt];
+      diag({CheckKind::kLeakedThread, true, m_.now(), nw, tid, l.create_label, 0, 0,
+            strfmt("thread context [NWID %u][TID %u] (%s thread created @%llu) is "
+                   "still live at drain: some handler returned without "
+                   "yield_terminate and nothing will ever address it again",
+                   nw, tid, ev_name(l.create_label).c_str(),
+                   static_cast<unsigned long long>(l.created_at))});
+    }
+  }
+
+  // Fresh drain-state gauges (recomputed each report, not accumulated).
+  counts_.undelivered_messages = m_.idle() ? 0 : m_.queue_.size();
+  if (counts_.undelivered_messages) {
+    diag({CheckKind::kUndeliveredMessages, true, m_.now(), 0, 0, 0, 0, 0,
+          strfmt("report with %llu message(s) still queued: the machine is not "
+                 "quiescent",
+                 static_cast<unsigned long long>(counts_.undelivered_messages))});
+  }
+  counts_.leaked_allocations = m_.memory().live_descriptors().size();
+  counts_.unfired_continuations = 0;
+  for (const auto& [w, p] : pending_conts_) {
+    counts_.unfired_continuations += p.count;
+    if (std::find(cont_reported_.begin(), cont_reported_.end(), w) !=
+        cont_reported_.end())
+      continue;
+    cont_reported_.push_back(w);
+    diag({CheckKind::kUnfiredContinuation, false, m_.now(), p.lane, 0, p.label, 0, 0,
+          strfmt("continuation word 0x%llx (-> %s) first delivered @%llu on NWID %u "
+                 "was never fired (%u obligation(s)): the caller's return event "
+                 "will not run",
+                 static_cast<unsigned long long>(w), ev_name(p.label).c_str(),
+                 static_cast<unsigned long long>(p.first_tick), p.lane, p.count)});
+  }
+
+  counts_.enabled = true;
+  counts_.sp_strict = sp_strict_;
+  m_.stats_.check = counts_;
+
+  if (counts_.errors() || dropped_diags_) {
+    std::fprintf(stderr,
+                 "[UDCHECK] summary: %llu error(s), %llu warning(s)%s\n",
+                 static_cast<unsigned long long>(counts_.errors()),
+                 static_cast<unsigned long long>(counts_.warnings()),
+                 dropped_diags_ ? strfmt(" (%llu diagnostics dropped)",
+                                         static_cast<unsigned long long>(dropped_diags_))
+                                      .c_str()
+                                : "");
+  }
+
+  // A full drain is a global barrier: everything executed before it
+  // happens-before everything after, so cross-phase host driving can never
+  // race with the previous phase. Sync cells carry no cross-era information.
+  ++era_;
+  sync_clocks_.clear();
+}
+
+}  // namespace updown

@@ -1,0 +1,294 @@
+// udcheck: dynamic analysis of the *simulated* UpDown machine.
+//
+// Because every DRAM word, scratchpad slot, allocation, thread context and
+// message already flows through Machine/Ctx/GlobalMemory, the checker sees
+// the complete message graph and the complete access stream — a TSan-style
+// detector with total visibility on mediated state. Three analyses run
+// together (see DESIGN.md "udcheck internals"):
+//
+//   1. Happens-before race detector. Each thread-context lifetime carries a
+//      sparse vector clock; send->receive edges (messages, DRAM round trips,
+//      thread creation) join clocks, and each accessed DRAM word keeps a
+//      shadow cell (last writer + readers since) whose stamps are compared
+//      for ordering. Scratchpad accesses are lane-serialized by construction
+//      and only checked under UD_CHECK_SP_STRICT (ordering-hazard mode).
+//
+//   2. Memory-lifetime sanitizer. dram_malloc/dram_free lifecycles come in
+//      through the MemoryObserver interface; every DRAM request is validated
+//      word-by-word against the live descriptor table, classifying misses as
+//      use-after-free (freed-region hit) or out-of-bounds.
+//
+//   3. Event-protocol linter. Sends to dead or recycled thread contexts,
+//      invalid event words, operand-count overflow, continuation words that
+//      are never fired, and non-quiescent drains (leaked threads, leaked
+//      allocations, undelivered messages).
+//
+// The checker is opt-in (UD_CHECK=1 or MachineConfig::check); when off, the
+// simulator pays one null-pointer test per hook site. When on, clean runs
+// keep golden determinism counts bit-identical: the checker never alters
+// timing, routing, or statistics unless a violation is found (violating
+// accesses/deliveries are suppressed so the simulation can continue and
+// report instead of corrupting host memory or crashing).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/global_memory.hpp"
+#include "sim/stats.hpp"
+
+namespace updown {
+
+class Machine;
+
+enum class CheckKind : std::uint8_t {
+  kDataRace,           ///< unordered DRAM write-write / read-write pair
+  kSpRace,             ///< strict mode: HB-concurrent scratchpad conflict
+  kOutOfBounds,        ///< access to a VA no descriptor covers
+  kUseAfterFree,       ///< access to a retired (freed) region
+  kBadFree,            ///< double free / free of a non-region address
+  kSendToDeadThread,   ///< event addressed a dead thread context
+  kStaleDelivery,      ///< thread context recycled between send and delivery
+  kBadEventWord,       ///< invalid label / lane, or thread-class mismatch
+  kOperandOverflow,    ///< >6 operands on a non-DRAM-reply message
+  kLeakedThread,       ///< thread context still live at drain
+  kUndeliveredMessages,///< queue not quiescent at report time
+  kLeakedAllocation,   ///< live DRAM region at drain (warning)
+  kUnfiredContinuation ///< delivered continuation word never sent (warning)
+};
+
+const char* check_kind_name(CheckKind k);
+
+/// One structured violation record: enough context to locate the bug in the
+/// event graph (tick, lane, event label, thread, address, allocation site).
+struct CheckDiagnostic {
+  CheckKind kind{};
+  bool error = true;  ///< false: warning (does not affect CheckSummary::clean)
+  Tick tick = 0;
+  NetworkId lane = 0;
+  ThreadId tid = 0;
+  EventLabel label = 0;     ///< event executing (or sending) at detection
+  Addr va = 0;              ///< faulting address (DRAM VA or scratchpad offset)
+  std::uint64_t alloc_seq = 0;  ///< allocation site, when one is known
+  std::string message;          ///< fully formatted human-readable report
+};
+
+class Checker final : public MemoryObserver {
+ public:
+  Checker(Machine& m, bool sp_strict);
+  ~Checker() override;
+
+  Checker(const Checker&) = delete;
+  Checker& operator=(const Checker&) = delete;
+
+  bool sp_strict() const { return sp_strict_; }
+
+  // ---- Routing hooks (called by Machine on the send path) -----------------
+  /// The host (TOP core) is about to inject a message.
+  void on_host_send();
+  /// A message landed in pool slot `idx`; stamp it with the sender's clock
+  /// and lint the send (target liveness, operand count, obligations).
+  void on_route_message(std::uint32_t idx, Tick depart);
+  /// A DRAM request landed in pool slot `idx`. `addr_mapped` is false when
+  /// routing could not translate the base address (checked mode routes such
+  /// requests to node 0 instead of throwing).
+  void on_route_dram(std::uint32_t idx, bool addr_mapped, Tick depart);
+  /// Event word addressed a lane beyond the machine; returns true when the
+  /// send was reported and should be dropped.
+  bool on_bad_route(Word evw, Tick depart);
+
+  // ---- Delivery / execution hooks -----------------------------------------
+  /// Validate delivery of pooled message `idx`; false => suppress (the
+  /// violation has been recorded; the payload is dropped).
+  bool on_pre_deliver(std::uint32_t idx, Tick start);
+  /// An existing-thread delivery found a thread of another class.
+  void on_class_mismatch(std::uint32_t idx, NetworkId lane, ThreadId tid, Tick start);
+  /// A handler is about to run: join the receiver's clock with the message
+  /// stamp, register continuation obligations, open the task scope.
+  void on_task_begin(std::uint32_t idx, NetworkId lane, ThreadId tid, EventLabel label,
+                     Tick start, bool new_thread);
+  /// The handler returned; closes the task scope and retires the lifetime
+  /// when the thread yielded-terminate.
+  void on_task_end(NetworkId lane, ThreadId tid, bool terminated);
+
+  /// A DRAM request is being serviced: sanitize the address range and race-
+  /// check each word at the requester's send-time clock. Returns false when
+  /// the physical access must be suppressed (reads are zero-filled).
+  bool on_dram_exec(std::uint32_t idx, Tick now);
+  /// The serviced request is about to emit its reply message.
+  void begin_dram_reply(std::uint32_t idx);
+  /// Service complete (reply routed, if any); releases the in-flight stamp.
+  void on_dram_done(std::uint32_t idx);
+
+  /// Scratchpad access from a running handler. Returns false when the access
+  /// is out of bounds and must be suppressed (reads return 0).
+  bool on_sp_access(NetworkId lane, std::uint64_t offset, std::size_t bytes,
+                    bool is_write, Tick now);
+
+  /// Lane-local synchronization cells (Ctx::sync_release / sync_acquire):
+  /// an atomic scratchpad counter or flag is a real happens-before edge the
+  /// message graph cannot see — e.g. the KVMSR termination gather, where a
+  /// reduce task bumps its lane's received counter and terminates without
+  /// sending, and a later poll task on the same lane reads the counter and
+  /// reports to the master. Release merges the running task's clock into the
+  /// cell; acquire merges the cell into the running task.
+  void on_sync_release(NetworkId lane, std::uint64_t slot);
+  void on_sync_acquire(NetworkId lane, std::uint64_t slot);
+
+  // ---- MemoryObserver (allocation lifecycle) ------------------------------
+  void on_alloc(const SwizzleDescriptor& d) override;
+  void on_free(const SwizzleDescriptor& d, std::uint64_t free_seq) override;
+  void on_bad_free(Addr base, bool double_free, const std::string& detail) override;
+
+  // ---- Reporting -----------------------------------------------------------
+  /// Called by Machine::run() at quiescence: computes drain-state checks
+  /// (leaked threads/allocations, unfired continuations), folds all counters
+  /// into MachineStats::check, prints newly found diagnostics, and opens a
+  /// new era (everything before a full drain happens-before everything
+  /// after, so cross-phase host driving cannot produce false races).
+  void report();
+
+  const std::vector<CheckDiagnostic>& diagnostics() const { return diags_; }
+
+ private:
+  // ---- Vector clocks -------------------------------------------------------
+  using LifetimeId = std::uint64_t;
+  static constexpr LifetimeId kHostLifetime = 0;
+  static constexpr LifetimeId kNoLifetime = ~0ull;
+
+  struct VCEntry {
+    LifetimeId lt;
+    std::uint32_t epoch;
+  };
+  using VC = std::vector<VCEntry>;  ///< sorted by lt
+  using Snapshot = std::shared_ptr<const VC>;
+
+  /// One thread-context lifetime (allocate_thread .. deallocate_thread).
+  /// Same-lifetime events are serialized by the lane, so a lifetime is one
+  /// chain in the happens-before chain decomposition.
+  struct Lifetime {
+    VC vc;             ///< knowledge of *other* lifetimes (self is implicit)
+    Snapshot snap;     ///< cached copy-on-write snapshot of vc
+    std::uint32_t epoch = 1;  ///< bumped after every send (release)
+    std::uint32_t refs = 0;   ///< shadow stamps + in-flight DRAM stamps
+    bool alive = true;
+    NetworkId nwid = 0;
+    ThreadId tid = 0;
+    EventLabel create_label = 0;
+    Tick created_at = 0;
+  };
+
+  /// A clock reading attached to a message / DRAM request / shadow cell.
+  struct Stamp {
+    LifetimeId lt = kNoLifetime;
+    std::uint32_t epoch = 0;
+    std::uint32_t era = 0;
+    EventLabel label = 0;  ///< event that produced the stamp (diagnostics)
+    Tick tick = 0;
+  };
+
+  struct MsgMeta {
+    Stamp stamp;
+    Snapshot snap;
+    LifetimeId target = kNoLifetime;  ///< expected lifetime of an existing target
+    bool from_dram = false;
+    bool cont_pending = false;  ///< cont word is a live obligation in transit
+    bool suppress = false;      ///< reported at send; drop silently on arrival
+  };
+
+  struct DramMeta {
+    Stamp stamp;
+    Snapshot snap;
+    bool addr_mapped = true;
+    bool cont_pending = false;
+    bool holds_ref = false;  ///< we incref'd stamp.lt for the flight
+  };
+
+  struct ShadowCell {
+    Stamp write;
+    std::vector<Stamp> readers;  ///< readers since the last write (capped)
+  };
+  static constexpr std::size_t kMaxReaders = 8;
+
+  struct PendingCont {
+    std::uint32_t count = 0;
+    Tick first_tick = 0;
+    NetworkId lane = 0;  ///< lane that received the obligation first
+    EventLabel label = 0;
+  };
+
+  // Clock algebra.
+  static std::uint32_t vc_get(const VC& vc, LifetimeId lt);
+  bool prunable(LifetimeId lt) const;
+  /// Sorted merge of `src` into `dst` (pointwise max), skipping `self` and
+  /// pruning dead+unreferenced entries; returns whether `dst` changed.
+  bool merge_vc(VC& dst, const VC& src, LifetimeId self);
+  /// Raise `vc[lt]` to at least `epoch`; returns whether `vc` changed.
+  static bool vc_upsert(VC& vc, LifetimeId lt, std::uint32_t epoch);
+  void join_into(LifetimeId dst, const Snapshot& snap, const Stamp& src);
+  const Snapshot& snapshot_of(LifetimeId lt);
+  /// Is stamp `a` ordered before an observer whose clock is (`lt`, `vc`)?
+  bool ordered(const Stamp& a, LifetimeId lt, const VC& vc) const;
+
+  void stamp_ref(LifetimeId lt);
+  void stamp_unref(LifetimeId lt);
+  void set_stamp(Stamp& slot, const Stamp& s);   ///< ref-maintaining overwrite
+  void add_reader(ShadowCell& cell, const Stamp& s);
+
+  LifetimeId new_lifetime(NetworkId nwid, ThreadId tid, EventLabel label, Tick t);
+  LifetimeId& slot_lifetime(NetworkId nwid, ThreadId tid);
+  bool slot_alive(NetworkId nwid, ThreadId tid) const;
+
+  /// Race-check + update one shadow cell; `cur`'s clock is (`cur.lt`, vc).
+  void check_access(ShadowCell& cell, const Stamp& cur, const VC& vc, bool is_write,
+                    bool is_sp, Addr va);
+
+  // Continuation obligations.
+  void register_cont(Word cont, NetworkId lane, Tick t);
+  bool discharge_cont(Word w);
+
+  // Diagnostics.
+  void diag(CheckDiagnostic d);
+  std::string ev_name(EventLabel label) const;
+  std::string where(const Stamp& s) const;
+
+  MsgMeta& msg_meta(std::uint32_t idx);
+  DramMeta& dram_meta(std::uint32_t idx);
+
+  Machine& m_;
+  const bool sp_strict_;
+
+  std::vector<Lifetime> lifetimes_;  ///< index = LifetimeId; [0] is the host
+  std::vector<std::vector<LifetimeId>> slot_lt_;  ///< per lane, per tid
+  std::uint32_t era_ = 1;  ///< bumped at every full drain (report)
+
+  // Origin of the message/request currently being routed. Execution is
+  // single-threaded, so one scoped origin per Machine suffices.
+  enum class Origin : std::uint8_t { kNone, kHost, kTask, kDramReply };
+  Origin origin_ = Origin::kNone;
+  Stamp origin_stamp_;       ///< valid for kTask (current task's lifetime)
+  Snapshot origin_snap_;     ///< valid for kDramReply
+  bool origin_cont_pending_ = false;  ///< valid for kDramReply
+
+  std::vector<MsgMeta> msg_meta_;
+  std::vector<DramMeta> dram_meta_;
+
+  std::unordered_map<std::uint64_t, ShadowCell> dram_shadow_;  ///< key: va >> 3
+  std::unordered_map<std::uint64_t, ShadowCell> sp_shadow_;    ///< (lane<<32)|word
+  std::unordered_map<std::uint64_t, VC> sync_clocks_;          ///< (lane<<32)|slot
+
+  std::unordered_map<Word, PendingCont> pending_conts_;
+
+  CheckSummary counts_;
+  std::vector<CheckDiagnostic> diags_;
+  std::vector<LifetimeId> leak_reported_;  ///< leaked threads already flagged
+  std::vector<Word> cont_reported_;        ///< unfired conts already flagged
+  static constexpr std::size_t kMaxStoredDiags = 256;
+  std::uint64_t dropped_diags_ = 0;
+};
+
+}  // namespace updown

@@ -1,0 +1,34 @@
+// strfmt: printf-style formatting into a std::string, for diagnostic and
+// error-message construction off the hot path (udcheck diagnostics, memory
+// system errors). Deliberately tiny; not for use in per-event code.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace updown {
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+inline std::string
+strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    // C++17 guarantees contiguous, writable data(); +1 for the terminator
+    // vsnprintf always writes.
+    std::vsnprintf(out.data(), static_cast<std::size_t>(n) + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace updown

@@ -4,6 +4,15 @@
 
 namespace updown::kvmsr {
 
+namespace {
+// udcheck sync-cell slots for the per-lane emit/receive counters: the
+// termination gather's poll read of these counters is a happens-before edge
+// (reduce tasks terminate without sending, so the message graph alone cannot
+// order their DRAM writes before the master's done decision).
+constexpr std::uint64_t emitted_slot(JobId job) { return 2ull * job; }
+constexpr std::uint64_t received_slot(JobId job) { return 2ull * job + 1; }
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Runtime thread classes. These are the KVMSR library's own UDWeave threads:
 // a per-launch master, per-node broadcast relays, a per-lane worker that
@@ -139,6 +148,7 @@ void Library::emit(Ctx& ctx, JobId job, Word key, Word v0) {
   const NetworkId dst = reduce_lane(j, key);
   ctx.charge(2);  // binding hash + scratchpad emit counter
   j.emitted_by_lane.at(ctx.nwid())++;
+  ctx.sync_release(emitted_slot(job));
   ctx.send_event(evw::make_new(dst, j.spec.kv_reduce), {key, v0, job});
 }
 
@@ -147,6 +157,7 @@ void Library::emit2(Ctx& ctx, JobId job, Word key, Word v0, Word v1) {
   const NetworkId dst = reduce_lane(j, key);
   ctx.charge(2);
   j.emitted_by_lane.at(ctx.nwid())++;
+  ctx.sync_release(emitted_slot(job));
   ctx.send_event(evw::make_new(dst, j.spec.kv_reduce), {key, v0, v1, job});
 }
 
@@ -159,6 +170,7 @@ void Library::reduce_return(Ctx& ctx, JobId job) {
   Job& j = jobs_.at(job);
   ctx.charge(1);  // scratchpad received counter
   j.received_by_lane.at(ctx.nwid())++;
+  ctx.sync_release(received_slot(job));
   ctx.yield_terminate();
 }
 
@@ -422,8 +434,11 @@ void WorkerThread::maybe_finish(Ctx& ctx) {
 
 void PollThread::p_poll(Ctx& ctx) {
   Library& lib = ctx.machine().service<Library>();
-  Library::Job& j = lib.jobs_.at(static_cast<JobId>(ctx.op(0)));
+  const JobId job_id = static_cast<JobId>(ctx.op(0));
+  Library::Job& j = lib.jobs_.at(job_id);
   ctx.charge(3);  // two scratchpad counter loads + reply setup
+  ctx.sync_acquire(emitted_slot(job_id));
+  ctx.sync_acquire(received_slot(job_id));
   ctx.send_reply({j.emitted_by_lane.at(ctx.nwid()), j.received_by_lane.at(ctx.nwid())});
   ctx.yield_terminate();
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/strfmt.hpp"
+
 namespace updown {
 
 Addr GlobalMemory::dram_malloc(std::uint64_t size, std::uint32_t first_node,
@@ -25,26 +27,91 @@ Addr GlobalMemory::dram_malloc(std::uint64_t size, std::uint32_t first_node,
   for (std::uint32_t n = first_node; n < first_node + nr_nodes; ++n)
     node_brk_[n] = node_base + per_node;
 
+  d.set_alloc_seq(++alloc_seq_);
   descriptors_.push_back(d);
   va_brk_ = base + size;
+  if (observer_) observer_->on_alloc(d);
   return base;
 }
 
 void GlobalMemory::dram_free(Addr base) {
   for (auto it = descriptors_.begin(); it != descriptors_.end(); ++it) {
     if (it->base() == base) {
+      const SwizzleDescriptor d = *it;
       descriptors_.erase(it);
+      freed_.push_back({d.base(), d.size(), d.alloc_seq(), ++free_seq_});
+      if (observer_) observer_->on_free(d, free_seq_);
       return;
     }
   }
-  throw std::invalid_argument("dram_free: no region with that base address");
+  // Distinguish a double free (base matches a retired region) from a pointer
+  // that never came from dram_malloc.
+  const FreedRegion* f = nullptr;
+  for (auto it = freed_.rbegin(); it != freed_.rend(); ++it)
+    if (it->base == base) {
+      f = &*it;
+      break;
+    }
+  std::string msg =
+      f ? strfmt("dram_free: double free of va=0x%llx (alloc #%llu, %llu bytes, "
+                 "already freed as free #%llu)\n",
+                 (unsigned long long)base, (unsigned long long)f->alloc_seq,
+                 (unsigned long long)f->size, (unsigned long long)f->free_seq)
+        : strfmt("dram_free: va=0x%llx is not the base of any live region\n",
+                 (unsigned long long)base);
+  msg += describe();
+  if (observer_) observer_->on_bad_free(base, f != nullptr, msg);
+  throw BadFreeError(base, f != nullptr, msg);
+}
+
+const SwizzleDescriptor* GlobalMemory::find_live(Addr va) const {
+  for (const auto& d : descriptors_)
+    if (d.contains(va)) return &d;
+  return nullptr;
+}
+
+const FreedRegion* GlobalMemory::find_freed(Addr va) const {
+  for (auto it = freed_.rbegin(); it != freed_.rend(); ++it)
+    if (it->contains(va)) return &*it;
+  return nullptr;
+}
+
+std::string GlobalMemory::describe() const {
+  std::string out =
+      strfmt("descriptor table (%zu live region(s)):\n", descriptors_.size());
+  for (const auto& d : descriptors_)
+    out += strfmt("  alloc #%-3llu va=[0x%llx, 0x%llx) size=%llu nodes=[%u..%u) "
+                  "bs=%llu\n",
+                  (unsigned long long)d.alloc_seq(), (unsigned long long)d.base(),
+                  (unsigned long long)d.end(), (unsigned long long)d.size(),
+                  d.first_node(), d.first_node() + d.nr_nodes(),
+                  (unsigned long long)d.block_size());
+  if (!freed_.empty()) {
+    out += strfmt("freed regions (%zu):\n", freed_.size());
+    for (const auto& f : freed_)
+      out += strfmt("  alloc #%-3llu va=[0x%llx, 0x%llx) size=%llu freed as "
+                    "free #%llu\n",
+                    (unsigned long long)f.alloc_seq, (unsigned long long)f.base,
+                    (unsigned long long)(f.base + f.size),
+                    (unsigned long long)f.size, (unsigned long long)f.free_seq);
+  }
+  return out;
 }
 
 const SwizzleDescriptor& GlobalMemory::find(Addr va) const {
-  for (const auto& d : descriptors_)
-    if (d.contains(va)) return d;
-  throw std::out_of_range("GlobalMemory: address " + std::to_string(va) +
-                          " not covered by any translation descriptor");
+  if (const SwizzleDescriptor* d = find_live(va)) return *d;
+  std::string msg = strfmt(
+      "GlobalMemory: va=0x%llx is not covered by any translation descriptor",
+      (unsigned long long)va);
+  if (const FreedRegion* f = find_freed(va)) {
+    msg += strfmt(" — use-after-free: it falls in region alloc #%llu "
+                  "[0x%llx, 0x%llx) retired by free #%llu",
+                  (unsigned long long)f->alloc_seq, (unsigned long long)f->base,
+                  (unsigned long long)(f->base + f->size),
+                  (unsigned long long)f->free_seq);
+  }
+  msg += "\n" + describe();
+  throw UnmappedAddressError(va, msg);
 }
 
 std::uint8_t* GlobalMemory::phys_ptr(const PhysLoc& loc, std::size_t bytes) {

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/bits.hpp"
@@ -23,6 +24,63 @@
 #include "mem/swizzle.hpp"
 
 namespace updown {
+
+/// Translation miss: a virtual address not covered by any live descriptor.
+/// Derives from std::out_of_range so pre-existing catch sites keep working;
+/// carries the faulting VA and a descriptor-table dump in what().
+class UnmappedAddressError : public std::out_of_range {
+ public:
+  UnmappedAddressError(Addr va, const std::string& what_arg)
+      : std::out_of_range(what_arg), va_(va) {}
+  Addr va() const { return va_; }
+
+ private:
+  Addr va_;
+};
+
+/// dram_free of an address that is not a live region base: either a double
+/// free (the base was freed before) or a pointer that never came from
+/// dram_malloc. Derives from std::invalid_argument for compatibility.
+class BadFreeError : public std::invalid_argument {
+ public:
+  BadFreeError(Addr va, bool double_free, const std::string& what_arg)
+      : std::invalid_argument(what_arg), va_(va), double_free_(double_free) {}
+  Addr va() const { return va_; }
+  bool double_free() const { return double_free_; }
+
+ private:
+  Addr va_;
+  bool double_free_;
+};
+
+/// Record of a retired allocation, kept so use-after-free and double-free
+/// faults can name the original region.
+struct FreedRegion {
+  Addr base = 0;
+  std::uint64_t size = 0;
+  std::uint64_t alloc_seq = 0;  ///< dram_malloc order (1-based)
+  std::uint64_t free_seq = 0;   ///< dram_free order (1-based)
+
+  bool contains(Addr va) const { return va >= base && va < base + size; }
+};
+
+/// Allocation-lifecycle hook, implemented by the udcheck sanitizer. All
+/// methods are no-ops by default so GlobalMemory pays nothing when no
+/// observer is attached.
+class MemoryObserver {
+ public:
+  virtual ~MemoryObserver() = default;
+  virtual void on_alloc(const SwizzleDescriptor& d) { (void)d; }
+  virtual void on_free(const SwizzleDescriptor& d, std::uint64_t free_seq) {
+    (void)d;
+    (void)free_seq;
+  }
+  virtual void on_bad_free(Addr base, bool double_free, const std::string& detail) {
+    (void)base;
+    (void)double_free;
+    (void)detail;
+  }
+};
 
 class GlobalMemory {
  public:
@@ -89,6 +147,21 @@ class GlobalMemory {
   /// Total physical bytes currently reserved on `node`.
   std::uint64_t node_bytes(std::uint32_t node) const { return node_brk_[node]; }
 
+  // ---- Introspection / checker support ------------------------------------
+  /// No-throw lookup: the live descriptor covering `va`, or nullptr.
+  const SwizzleDescriptor* find_live(Addr va) const;
+  /// The most recently freed region covering `va`, or nullptr.
+  const FreedRegion* find_freed(Addr va) const;
+  const std::vector<SwizzleDescriptor>& live_descriptors() const { return descriptors_; }
+  const std::vector<FreedRegion>& freed_regions() const { return freed_; }
+  /// Human-readable dump of the live descriptor table (+ freed regions),
+  /// appended to translation/free fault messages.
+  std::string describe() const;
+
+  /// Attach an allocation-lifecycle observer (udcheck). Not owned; pass
+  /// nullptr to detach.
+  void set_observer(MemoryObserver* obs) { observer_ = obs; }
+
  private:
   const SwizzleDescriptor& find(Addr va) const;
   std::uint8_t* phys_ptr(const PhysLoc& loc, std::size_t bytes);
@@ -96,9 +169,13 @@ class GlobalMemory {
 
   std::uint32_t nodes_;
   std::vector<SwizzleDescriptor> descriptors_;
+  std::vector<FreedRegion> freed_;  ///< retired regions, in free order
   mutable std::vector<std::vector<std::uint8_t>> backing_;  ///< grown on demand
   std::vector<std::uint64_t> node_brk_;  ///< per-node physical bump pointer
   Addr va_brk_ = 0x10000;                ///< VA 0 reserved (null)
+  std::uint64_t alloc_seq_ = 0;          ///< dram_malloc counter (1-based)
+  std::uint64_t free_seq_ = 0;           ///< dram_free counter (1-based)
+  MemoryObserver* observer_ = nullptr;
 };
 
 }  // namespace updown

@@ -57,6 +57,10 @@ class SwizzleDescriptor {
   Addr end() const { return base_ + size_; }
   std::uint64_t size() const { return size_; }
   std::uint32_t first_node() const { return first_node_; }
+  /// Monotonic DRAMmalloc sequence number: names the allocation site in
+  /// diagnostics ("alloc #7") and survives into the freed-region records.
+  std::uint64_t alloc_seq() const { return alloc_seq_; }
+  void set_alloc_seq(std::uint64_t seq) { alloc_seq_ = seq; }
   std::uint32_t nr_nodes() const { return nr_nodes_; }
   std::uint64_t block_size() const { return 1ull << block_shift_; }
   std::uint64_t node_base() const { return node_base_; }
@@ -85,6 +89,7 @@ class SwizzleDescriptor {
 
  private:
   Addr base_ = 0;
+  std::uint64_t alloc_seq_ = 0;
   std::uint64_t size_ = 0;
   std::uint32_t first_node_ = 0;
   std::uint32_t nr_nodes_ = 1;

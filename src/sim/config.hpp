@@ -39,6 +39,12 @@ struct MachineConfig {
   std::uint32_t msg_header_bytes = 16;  ///< event word + continuation word
   std::uint32_t max_msg_operands = 8;   ///< DRAM responses carry 8 words
 
+  // ---- Checking (src/check/) ------------------------------------------------
+  // Overridden by the UD_CHECK / UD_CHECK_SP_STRICT environment variables
+  // ("0" or empty = off, anything else = on), mirroring the UDSIM_LOG pattern.
+  bool check = false;           ///< enable the udcheck analysis subsystem
+  bool check_sp_strict = false; ///< also flag HB-concurrent scratchpad access
+
   // ---- Derived --------------------------------------------------------------
   std::uint32_t lanes_per_node() const { return accels_per_node * lanes_per_accel; }
   std::uint64_t total_lanes() const {

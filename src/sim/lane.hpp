@@ -57,6 +57,9 @@ class Lane {
     return *threads_[tid];
   }
 
+  /// True while `tid` names a live thread context (no-throw lookup).
+  bool alive(ThreadId tid) const { return tid < threads_.size() && threads_[tid] != nullptr; }
+
   void deallocate_thread(ThreadId tid) {
     std::unique_ptr<ThreadState>& slot = threads_.at(tid);
     if (slot) state_cache(slot->ud_class_id).push_back(std::move(slot));

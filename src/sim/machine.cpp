@@ -1,12 +1,24 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 
+#include "check/checker.hpp"
 #include "common/log.hpp"
 #include "udweave/context.hpp"
 
 namespace updown {
+
+namespace {
+/// UDSIM_LOG-style boolean env override: "0" or empty leaves the configured
+/// default; any other value turns the flag on.
+bool env_flag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  return !(v[0] == '0' && v[1] == '\0');
+}
+}  // namespace
 
 Machine::Machine(MachineConfig cfg)
     : cfg_(cfg),
@@ -19,7 +31,14 @@ Machine::Machine(MachineConfig cfg)
   lanes_.reserve(cfg_.total_lanes());
   for (std::uint64_t i = 0; i < cfg_.total_lanes(); ++i)
     lanes_.emplace_back(cfg_.max_threads_per_lane, cfg_.scratchpad_bytes);
+  if (env_flag("UD_CHECK", cfg_.check)) {
+    checker_ = std::make_unique<Checker>(
+        *this, env_flag("UD_CHECK_SP_STRICT", cfg_.check_sp_strict));
+    memory_.set_observer(checker_.get());
+  }
 }
+
+Machine::~Machine() = default;
 
 void Machine::send_from_host(Word event_word, std::initializer_list<Word> ops, Word cont) {
   send_from_host(event_word, ops.begin(), ops.size(), cont);
@@ -32,6 +51,7 @@ void Machine::send_from_host(Word event_word, const Word* ops, std::size_t nops,
   m.nops = static_cast<std::uint8_t>(nops);
   for (std::size_t i = 0; i < nops; ++i) m.ops[i] = ops[i];
   m.src = first_lane_of_node(0);  // the TOP core is attached to node 0
+  if (checker_) checker_->on_host_send();
   route_message(std::move(m), now_);
 }
 
@@ -42,8 +62,12 @@ void Machine::enqueue(Tick t, Kind kind, std::uint32_t pool_index) {
 
 void Machine::route_message(Message&& m, Tick depart) {
   const NetworkId dst = evw::nwid(m.evw);
-  if (dst >= lanes_.size())
+  if (dst >= lanes_.size()) {
+    // Checked mode reports the bad event word and drops the send so the
+    // simulation can continue and surface the rest of the run's violations.
+    if (checker_ && checker_->on_bad_route(m.evw, depart)) return;
     throw std::out_of_range("send_event: networkID beyond machine lanes");
+  }
   const std::uint32_t bytes = m.payload_bytes(cfg_.msg_header_bytes);
   const Tick arrive = network_.arrival(depart, m.src, dst, bytes);
   stats_.messages_sent++;
@@ -51,12 +75,25 @@ void Machine::route_message(Message&& m, Tick depart) {
   if (node_of(m.src) != node_of(dst)) stats_.cross_node_messages++;
   const std::uint32_t idx = msg_pool_.acquire();
   msg_pool_[idx] = m;
+  if (checker_) checker_->on_route_message(idx, depart);
   enqueue(arrive, kMsg, idx);
 }
 
 void Machine::route_dram(DramRequest&& r, Tick depart) {
   // Translate once at routing time; the home node rides along in the request.
-  r.dst_node = memory_.translate(r.addr).node;
+  bool addr_mapped = true;
+  if (checker_) {
+    // Don't throw on an unmapped base: route to node 0 and let the checker
+    // classify the fault (UAF vs OOB) at service time, word by word.
+    const SwizzleDescriptor* d = memory_.find_live(r.addr);
+    if (d) r.dst_node = d->translate(r.addr).node;
+    else {
+      addr_mapped = false;
+      r.dst_node = 0;
+    }
+  } else {
+    r.dst_node = memory_.translate(r.addr).node;
+  }
   const std::uint32_t req_bytes =
       cfg_.msg_header_bytes + (r.is_write ? r.nwords * 8u : 0u);
   const Tick arrive =
@@ -64,18 +101,26 @@ void Machine::route_dram(DramRequest&& r, Tick depart) {
   if (node_of(r.src) != r.dst_node) stats_.remote_dram_accesses++;
   const std::uint32_t idx = dram_pool_.acquire();
   dram_pool_[idx] = r;
+  if (checker_) checker_->on_route_dram(idx, addr_mapped, depart);
   enqueue(arrive, kDram, idx);
 }
 
-void Machine::exec_message(Message& m, Tick arrive) {
+void Machine::exec_message(std::uint32_t pool_index, Tick arrive) {
+  Message& m = msg_pool_[pool_index];
   const NetworkId dst = evw::nwid(m.evw);
   Lane& lane = lanes_[dst];
   const Tick start = std::max(arrive, lane.free_at);
   const EventLabel label = evw::label(m.evw);
+
+  // Checked mode validates the delivery (label, target liveness, recycled
+  // contexts) and suppresses violating messages after reporting them.
+  if (checker_ && !checker_->on_pre_deliver(pool_index, start)) return;
+
   const EventDef& def = program_.def(label);
 
+  const bool new_thread = evw::is_new_thread(m.evw);
   ThreadId tid;
-  if (evw::is_new_thread(m.evw)) {
+  if (new_thread) {
     tid = lane.allocate_thread(def);  // Thread Create: 0 cycles (recycles state)
     stats_.threads_created++;
     std::uint64_t live = 0;
@@ -86,12 +131,18 @@ void Machine::exec_message(Message& m, Tick arrive) {
     tid = evw::tid(m.evw);
   }
   ThreadState& state = lane.thread(tid);
-  if (state.ud_class_id != def.type_id)
+  if (state.ud_class_id != def.type_id) {
+    if (checker_) {
+      checker_->on_class_mismatch(pool_index, dst, tid, start);
+      return;
+    }
     throw std::runtime_error("event '" + def.name + "' delivered to a thread of another class");
+  }
 
   const Word cevnt = evw::make_existing(dst, tid, label, m.nops);
   UDSIM_LOG(LogLevel::kDebug, start, "[NWID %u][TID %u] %s (%u ops)", dst, tid,
             def.name.c_str(), m.nops);
+  if (checker_) checker_->on_task_begin(pool_index, dst, tid, label, start, new_thread);
   Ctx ctx(*this, lane, m, start, tid, cevnt, state);
   def.invoke(ctx, state);
 
@@ -106,18 +157,25 @@ void Machine::exec_message(Message& m, Tick arrive) {
     stats_.threads_destroyed++;
     --live_threads_;
   }
+  if (checker_) checker_->on_task_end(dst, tid, ctx.terminated());
   if (lane.free_at > now_) now_ = lane.free_at;
 }
 
-void Machine::exec_dram(DramRequest& r, Tick arrive) {
+void Machine::exec_dram(std::uint32_t pool_index, Tick arrive) {
+  DramRequest& r = dram_pool_[pool_index];
   const std::uint32_t data_bytes = r.nwords * 8u + cfg_.msg_header_bytes;
   const Tick ready = dram_.service(arrive, r.dst_node, data_bytes);
 
+  // Checked mode sanitizes the address range (OOB/UAF) and race-checks each
+  // word; invalid accesses are suppressed (reads deliver zeros) so the run
+  // can continue to the report instead of corrupting host memory.
+  const bool ok = !checker_ || checker_->on_dram_exec(pool_index, arrive);
   if (r.is_write) {
-    memory_.write_words(r.addr, r.data.data(), r.nwords);
+    if (ok) memory_.write_words(r.addr, r.data.data(), r.nwords);
     stats_.dram_writes++;
   } else {
-    memory_.read_words(r.addr, r.data.data(), r.nwords);
+    if (ok) memory_.read_words(r.addr, r.data.data(), r.nwords);
+    else r.data.fill(0);
     stats_.dram_reads++;
   }
   stats_.dram_bytes += r.nwords * 8u;
@@ -129,8 +187,10 @@ void Machine::exec_dram(DramRequest& r, Tick arrive) {
     resp.nops = r.is_write ? 0 : r.nwords;
     if (!r.is_write) resp.ops = r.data;
     resp.src = first_lane_of_node(r.dst_node);
+    if (checker_) checker_->begin_dram_reply(pool_index);
     route_message(std::move(resp), ready);
   }
+  if (checker_) checker_->on_dram_done(pool_index);
   if (ready > now_) now_ = ready;
 }
 
@@ -141,10 +201,10 @@ bool Machine::step() {
   if (e.kind == kMsg) {
     // The pooled payload stays in place through execution; handlers may
     // acquire new slots (slabs are stable), and the slot is recycled after.
-    exec_message(msg_pool_[e.index], e.t);
+    exec_message(e.index, e.t);
     msg_pool_.release(e.index);
   } else {
-    exec_dram(dram_pool_[e.index], e.t);
+    exec_dram(e.index, e.t);
     dram_pool_.release(e.index);
   }
   return true;
@@ -153,6 +213,7 @@ bool Machine::step() {
 void Machine::run() {
   while (step()) {
   }
+  if (checker_) checker_->report();
 }
 
 EngineStats Machine::engine_stats() const {

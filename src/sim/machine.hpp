@@ -28,10 +28,12 @@
 namespace updown {
 
 class Ctx;
+class Checker;
 
 class Machine {
  public:
   explicit Machine(MachineConfig cfg);
+  ~Machine();  // out of line: Checker is incomplete here
 
   const MachineConfig& config() const { return cfg_; }
   Program& program() { return program_; }
@@ -71,6 +73,11 @@ class Machine {
   EngineStats engine_stats() const;
 
   Tick now() const { return now_; }
+
+  /// The udcheck analysis subsystem (src/check/), or nullptr when off.
+  /// Enabled via MachineConfig::check or the UD_CHECK environment variable;
+  /// hook sites pay one null test when disabled.
+  Checker* checker() { return checker_.get(); }
 
   // ---- Statistics ------------------------------------------------------------
   MachineStats& stats() { return stats_; }
@@ -117,6 +124,7 @@ class Machine {
 
  private:
   friend class Ctx;
+  friend class Checker;
 
   enum Kind : std::uint8_t { kMsg, kDram };
 
@@ -124,8 +132,8 @@ class Machine {
   // parked in the slab pools; the calendar queue holds slim QEntry records.
   void route_message(Message&& m, Tick depart);
   void route_dram(DramRequest&& r, Tick depart);
-  void exec_message(Message& m, Tick arrive);
-  void exec_dram(DramRequest& r, Tick arrive);
+  void exec_message(std::uint32_t pool_index, Tick arrive);
+  void exec_dram(std::uint32_t pool_index, Tick arrive);
   void enqueue(Tick t, Kind kind, std::uint32_t pool_index);
 
   MachineConfig cfg_;
@@ -143,6 +151,7 @@ class Machine {
   std::uint64_t live_threads_ = 0;
   Tick now_ = 0;
   MachineStats stats_;
+  std::unique_ptr<Checker> checker_;  ///< null unless checking is enabled
   std::shared_ptr<void> user_;
   void* user_ptr_ = nullptr;
   std::unordered_map<std::type_index, std::shared_ptr<void>> services_;

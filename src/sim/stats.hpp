@@ -20,6 +20,40 @@ struct LaneStats {
   std::uint64_t messages_sent = 0;
 };
 
+/// Machine-readable summary of the udcheck analyses (src/check/). All-zero
+/// (and `enabled == false`) when the checker is off. Error counters mean the
+/// run exercised a real bug class; warning counters are drain-state gauges
+/// that clean applications may legitimately leave nonzero.
+struct CheckSummary {
+  bool enabled = false;
+  bool sp_strict = false;
+
+  // Errors.
+  std::uint64_t data_races = 0;          ///< unordered DRAM write pairs
+  std::uint64_t sp_races = 0;            ///< strict-mode scratchpad conflicts
+  std::uint64_t out_of_bounds = 0;       ///< unmapped-VA accesses
+  std::uint64_t use_after_free = 0;      ///< accesses into freed regions
+  std::uint64_t bad_frees = 0;           ///< double/invalid dram_free
+  std::uint64_t dead_thread_sends = 0;   ///< events to dead thread contexts
+  std::uint64_t stale_deliveries = 0;    ///< recycled-tid aliased deliveries
+  std::uint64_t bad_event_words = 0;     ///< invalid label/lane/thread class
+  std::uint64_t operand_overflows = 0;   ///< >6 operands on a plain message
+  std::uint64_t leaked_threads = 0;      ///< live thread contexts at drain
+  std::uint64_t undelivered_messages = 0;///< queue not quiescent at report
+
+  // Warnings.
+  std::uint64_t leaked_allocations = 0;    ///< live DRAM regions at drain
+  std::uint64_t unfired_continuations = 0; ///< delivered conts never sent
+
+  std::uint64_t errors() const {
+    return data_races + sp_races + out_of_bounds + use_after_free + bad_frees +
+           dead_thread_sends + stale_deliveries + bad_event_words +
+           operand_overflows + leaked_threads + undelivered_messages;
+  }
+  std::uint64_t warnings() const { return leaked_allocations + unfired_continuations; }
+  bool clean() const { return errors() == 0; }
+};
+
 struct MachineStats {
   std::uint64_t events_executed = 0;
   std::uint64_t charged_cycles = 0;  ///< total lane-busy cycles across the run
@@ -34,6 +68,7 @@ struct MachineStats {
   std::uint64_t threads_destroyed = 0;
   std::uint64_t max_live_threads = 0;
   std::uint64_t max_queue_depth = 0;  ///< peak pending events in the calendar queue
+  CheckSummary check;  ///< udcheck results (all-zero when UD_CHECK is off)
 
   void reset() { *this = MachineStats{}; }
 };

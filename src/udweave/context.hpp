@@ -19,6 +19,7 @@
 #include <cstring>
 #include <initializer_list>
 
+#include "check/checker.hpp"
 #include "common/log.hpp"
 #include "sim/machine.hpp"
 
@@ -157,17 +158,41 @@ class Ctx {
   // ---- Scratchpad ------------------------------------------------------------
   Word sp_read(std::uint64_t offset) {
     charge(1);
+    if (Checker* ck = m_.checker()) {
+      if (!ck->on_sp_access(nwid_, offset, sizeof(Word), /*is_write=*/false, now()))
+        return 0;  // out-of-bounds access suppressed (reported by the checker)
+    }
     Word v;
     std::memcpy(&v, lane_.scratchpad() + offset, sizeof(Word));
     return v;
   }
   void sp_write(std::uint64_t offset, Word v) {
     charge(1);
+    if (Checker* ck = m_.checker()) {
+      if (!ck->on_sp_access(nwid_, offset, sizeof(Word), /*is_write=*/true, now()))
+        return;
+    }
     std::memcpy(lane_.scratchpad() + offset, &v, sizeof(Word));
   }
   /// Raw scratchpad pointer for bulk operations; caller must charge()
-  /// explicitly (1 cycle per word touched).
+  /// explicitly (1 cycle per word touched). Bypasses udcheck instrumentation.
   std::uint8_t* scratch() { return lane_.scratchpad(); }
+
+  /// Declare a happens-before edge through a lane-local synchronization cell
+  /// (an atomic scratchpad counter or flag identified by `slot`): a task that
+  /// updates the cell calls sync_release; a later task on the same lane that
+  /// reads it and acts on the value calls sync_acquire and inherits the
+  /// releaser's causal history. The KVMSR termination gather is the canonical
+  /// user: reduce tasks bump a per-lane received counter and terminate
+  /// without sending, and the poll agent's read of that counter is the only
+  /// ordering edge to the master's done decision. No-ops (one null test)
+  /// unless udcheck is on; cycle costs are charged at the counter access.
+  void sync_release(std::uint64_t slot) {
+    if (Checker* ck = m_.checker()) ck->on_sync_release(nwid_, slot);
+  }
+  void sync_acquire(std::uint64_t slot) {
+    if (Checker* ck = m_.checker()) ck->on_sync_acquire(nwid_, slot);
+  }
   std::uint64_t sp_alloc(std::uint64_t bytes, std::uint64_t align = 8) {
     return lane_.sp_alloc(bytes, align);
   }

@@ -57,7 +57,7 @@ class Program {
   Program() {
     // Label 0 is reserved so that IGNRCONT (the all-zero word) can never be
     // confused with a valid continuation event word.
-    defs_.push_back(EventDef{"<invalid>", nullptr, nullptr, nullptr, 0});
+    defs_.emplace_back("<invalid>", nullptr, nullptr, nullptr, 0);
   }
 
   /// Register `fn` as the handler for event `name` of thread class T.
