@@ -12,6 +12,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "common/bits.hpp"
 #include "common/rng.hpp"
@@ -49,15 +50,15 @@ static void BM_CalendarQueue(benchmark::State& state) {
   for (auto _ : state) {
     CalendarEventQueue q;
     Xoshiro256 rng(7);
-    std::uint64_t seq = 0;
+    std::uint32_t seq = 0;
     Tick now = 0;
     for (int warm = 0; warm < 256; ++warm)
-      q.push(QEntry{now + 2 + rng() % 1000, seq++, 0, 0});
+      q.push(QEntry{now + 2 + rng() % 1000, 0, seq++, 0, 0});
     for (int i = 0; i < 100000; ++i) {
       const QEntry e = q.pop();
       now = e.t;
       const Tick ahead = (rng() % 64 == 0) ? 20000 + rng() % 80000 : 2 + rng() % 1000;
-      q.push(QEntry{now + ahead, seq++, 0, 0});
+      q.push(QEntry{now + ahead, 0, seq++, 0, 0});
     }
     benchmark::DoNotOptimize(q.size());
   }
@@ -162,9 +163,10 @@ struct ThroughputResult {
   bool checker_enabled = false;
 };
 
-ThroughputResult run_throughput_workload(bool check = false) {
+ThroughputResult run_throughput_workload(bool check = false, std::uint32_t shards = 1) {
   MachineConfig cfg = MachineConfig::scaled(8);
   cfg.check = check;
+  cfg.shards = shards;  // note: a UD_SHARDS env var would override this
   Machine m(cfg);
   auto& app = m.emplace_user<ChainApp>();
   app.hop = m.program().event("TChain::hop", &TChain::hop);
@@ -223,6 +225,35 @@ int throughput_report() {
     if (r.events_per_sec > checked.events_per_sec) checked = r;
   }
 
+  // Shard sweep: the same workload on 1/2/4/8 host threads. The event engine
+  // guarantees bit-identical schedules for any shard count, so the simulated
+  // counters must match the serial run exactly — enforced here, every run.
+  const std::uint32_t kSweep[] = {1, 2, 4, 8};
+  ThroughputResult sweep[4];
+  bool sweep_counts_ok = true;
+  for (int s = 0; s < 4; ++s) {
+    for (int i = 0; i < 3; ++i) {
+      ThroughputResult r = run_throughput_workload(/*check=*/false, kSweep[s]);
+      if (r.events_per_sec > sweep[s].events_per_sec) sweep[s] = r;
+    }
+    if (sweep[s].events != best.events || sweep[s].messages != best.messages ||
+        sweep[s].dram_accesses != best.dram_accesses ||
+        sweep[s].final_tick != best.final_tick) {
+      sweep_counts_ok = false;
+      std::fprintf(stderr,
+                   "micro_sim: FAIL: shards=%u diverged from serial: events %llu vs "
+                   "%llu, messages %llu vs %llu, final tick %llu vs %llu\n",
+                   kSweep[s], (unsigned long long)sweep[s].events,
+                   (unsigned long long)best.events, (unsigned long long)sweep[s].messages,
+                   (unsigned long long)best.messages,
+                   (unsigned long long)sweep[s].final_tick,
+                   (unsigned long long)best.final_tick);
+    }
+  }
+  const double speedup4 = sweep[0].events_per_sec > 0
+                              ? sweep[2].events_per_sec / sweep[0].events_per_sec
+                              : 0.0;
+
   const double vs_baseline_pct =
       (kBaselineEventsPerSec - best.events_per_sec) / kBaselineEventsPerSec * 100.0;
   const double checker_cost_pct =
@@ -242,6 +273,12 @@ int throughput_report() {
   std::printf("final simulated tick  %llu\n", (unsigned long long)best.final_tick);
   std::printf("max queue depth       %llu\n", (unsigned long long)best.max_queue_depth);
   std::printf("far-heap events       %llu\n", (unsigned long long)best.engine.far_events);
+  std::printf("shard sweep (UD_SHARDS) ");
+  for (int s = 0; s < 4; ++s)
+    std::printf("%u:%.0f%s", kSweep[s], sweep[s].events_per_sec, s < 3 ? "  " : "\n");
+  std::printf("speedup at 4 shards   %.2fx (windows %llu, mailbox events %llu)\n",
+              speedup4, (unsigned long long)sweep[2].engine.windows,
+              (unsigned long long)sweep[2].engine.mailbox_messages);
 
   FILE* f = std::fopen("BENCH_micro_sim.json", "w");
   if (!f) {
@@ -269,8 +306,8 @@ int throughput_report() {
                "    \"bucket_sorts\": %llu,\n"
                "    \"msg_pool_capacity\": %u,\n"
                "    \"dram_pool_capacity\": %u\n"
-               "  }\n"
-               "}\n",
+               "  },\n"
+               "  \"shard_sweep\": [\n",
                kReps, (unsigned long long)best.events, (unsigned long long)best.messages,
                (unsigned long long)best.dram_accesses, (unsigned long long)best.final_tick,
                best.wall_seconds, best.events_per_sec, checked.events_per_sec,
@@ -279,9 +316,24 @@ int throughput_report() {
                (unsigned long long)best.engine.far_events,
                (unsigned long long)best.engine.bucket_sorts, best.engine.msg_pool_capacity,
                best.engine.dram_pool_capacity);
+  for (int s = 0; s < 4; ++s)
+    std::fprintf(f,
+                 "    {\"shards\": %u, \"events_per_sec\": %.0f, \"windows\": %llu, "
+                 "\"mailbox_events\": %llu}%s\n",
+                 kSweep[s], sweep[s].events_per_sec,
+                 (unsigned long long)sweep[s].engine.windows,
+                 (unsigned long long)sweep[s].engine.mailbox_messages,
+                 s < 3 ? "," : "");
+  std::fprintf(f,
+               "  ],\n"
+               "  \"speedup_4_shards\": %.3f,\n"
+               "  \"shard_counts_identical\": %s\n"
+               "}\n",
+               speedup4, sweep_counts_ok ? "true" : "false");
   std::fclose(f);
   std::printf("wrote BENCH_micro_sim.json\n");
 
+  if (!sweep_counts_ok) return 1;  // sharded schedule diverged: always fatal
   if (std::getenv("UD_BENCH_ENFORCE") && !best.checker_enabled &&
       vs_baseline_pct > kMaxCheckerOffRegressPct) {
     std::fprintf(stderr,
@@ -289,6 +341,13 @@ int throughput_report() {
                  "the PR-1 baseline %.0f (limit %.1f%%)\n",
                  best.events_per_sec, vs_baseline_pct, kBaselineEventsPerSec,
                  kMaxCheckerOffRegressPct);
+    return 1;
+  }
+  if (std::getenv("UD_BENCH_ENFORCE") && !best.checker_enabled &&
+      std::thread::hardware_concurrency() >= 4 && speedup4 < 1.5) {
+    std::fprintf(stderr,
+                 "micro_sim: FAIL: 4-shard speedup %.2fx is below the 1.5x floor\n",
+                 speedup4);
     return 1;
   }
   return 0;

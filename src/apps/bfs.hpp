@@ -21,6 +21,7 @@
 //     when a round adds nothing ("add queue 0" in the paper's log).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_set>
 #include <vector>
@@ -92,7 +93,9 @@ class App {
   std::vector<std::uint32_t> cur_count_;
   std::vector<std::uint32_t> nxt_count_;
   std::vector<std::unordered_set<VertexId>> visited_;
-  std::uint64_t added_ = 0;
+  // Bumped by reduce tasks on many lanes (= many shards); read only after
+  // the round's gather, which is ordered by a happens-before message chain.
+  std::atomic<std::uint64_t> added_{0};
 
   kvmsr::JobId job_ = 0;
   EventLabel driver_start_ = 0;

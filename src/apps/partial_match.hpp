@@ -15,6 +15,7 @@
 // "record-by-record") and records the per-record completion latency.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -84,7 +85,9 @@ class App {
 
   // Stream state (host/driver shared).
   const std::vector<tform::EdgeRecord>* records_ = nullptr;
-  std::uint64_t alerts_ = 0;
+  // Bumped on per-record coordinator lanes (= many shards); read at finish,
+  // after the stream's completion message chain.
+  std::atomic<std::uint64_t> alerts_{0};
   Tick total_latency_ = 0;
   Tick start_tick_ = 0, done_tick_ = 0;
   bool finished_ = false;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "common/bits.hpp"
+
 namespace updown::baseline {
 
 std::vector<double> pagerank(const Graph& g, unsigned iterations, double damping) {
@@ -74,6 +76,22 @@ std::uint64_t triangle_count(const Graph& g) {
     }
   }
   return count;
+}
+
+std::vector<std::uint64_t> bucket_sort(std::vector<std::uint64_t> values,
+                                       unsigned key_bits, std::uint64_t buckets) {
+  const unsigned bucket_bits = log2_exact(next_pow2(buckets));
+  const unsigned shift = key_bits > bucket_bits ? key_bits - bucket_bits : 0;
+  std::vector<std::vector<std::uint64_t>> bins(buckets ? buckets : 1);
+  for (std::uint64_t v : values)
+    bins[(shift >= 64 ? 0 : v >> shift) % bins.size()].push_back(v);
+  std::vector<std::uint64_t> out;
+  out.reserve(values.size());
+  for (auto& bin : bins) {
+    std::sort(bin.begin(), bin.end());
+    out.insert(out.end(), bin.begin(), bin.end());
+  }
+  return out;
 }
 
 }  // namespace updown::baseline

@@ -29,4 +29,12 @@ BfsResult bfs(const Graph& g, VertexId root);
 /// (requires symmetric input, like the Graph Challenge datasets).
 std::uint64_t triangle_count(const Graph& g);
 
+/// CPU bucket sort mirroring the GlobalSort abstraction: distribute each
+/// value (below 2^key_bits) to bucket (value >> shift) % buckets with
+/// shift = key_bits - log2(next_pow2(buckets)), sort each bucket, and
+/// concatenate in bucket order — the bucket-major readback order of
+/// gsort::GlobalSort::host_read_sorted() with `buckets` = total lanes.
+std::vector<std::uint64_t> bucket_sort(std::vector<std::uint64_t> values,
+                                       unsigned key_bits, std::uint64_t buckets);
+
 }  // namespace updown::baseline

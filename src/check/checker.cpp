@@ -257,7 +257,7 @@ bool Checker::on_bad_route(Word evw_word, Tick depart) {
 
 void Checker::on_route_message(std::uint32_t idx, Tick depart) {
   MsgMeta& meta = msg_meta(idx);
-  const Message& m = m_.msg_pool_[idx];
+  const Message& m = m_.shard0().msg_pool[idx];
   meta.target = kNoLifetime;
   meta.from_dram = false;
   meta.cont_pending = false;
@@ -327,7 +327,7 @@ void Checker::on_route_message(std::uint32_t idx, Tick depart) {
 
 void Checker::on_route_dram(std::uint32_t idx, bool addr_mapped, Tick depart) {
   DramMeta& meta = dram_meta(idx);
-  const DramRequest& r = m_.dram_pool_[idx];
+  const DramRequest& r = m_.shard0().dram_pool[idx];
   switch (origin_) {
     case Origin::kTask: {
       Lifetime& l = lifetimes_[origin_stamp_.lt];
@@ -361,7 +361,7 @@ void Checker::on_route_dram(std::uint32_t idx, bool addr_mapped, Tick depart) {
 
 bool Checker::on_pre_deliver(std::uint32_t idx, Tick start) {
   MsgMeta& meta = msg_meta(idx);
-  const Message& m = m_.msg_pool_[idx];
+  const Message& m = m_.shard0().msg_pool[idx];
   if (meta.suppress) {
     meta.snap.reset();
     return false;
@@ -410,7 +410,7 @@ bool Checker::on_pre_deliver(std::uint32_t idx, Tick start) {
 void Checker::on_class_mismatch(std::uint32_t idx, NetworkId lane, ThreadId tid,
                                 Tick start) {
   MsgMeta& meta = msg_meta(idx);
-  const Message& m = m_.msg_pool_[idx];
+  const Message& m = m_.shard0().msg_pool[idx];
   const EventLabel label = evw::label(m.evw);
   ++counts_.bad_event_words;
   diag({CheckKind::kBadEventWord, true, start, lane, tid, label, 0, 0,
@@ -432,7 +432,7 @@ void Checker::on_task_begin(std::uint32_t idx, NetworkId lane, ThreadId tid,
   }
   join_into(lt, meta.snap, meta.stamp);
 
-  const Message& m = m_.msg_pool_[idx];
+  const Message& m = m_.shard0().msg_pool[idx];
   if (m.cont != IGNRCONT && (!meta.from_dram || meta.cont_pending))
     register_cont(m.cont, lane, start);
 
@@ -454,7 +454,7 @@ void Checker::on_task_end(NetworkId lane, ThreadId tid, bool terminated) {
 
 bool Checker::on_dram_exec(std::uint32_t idx, Tick now) {
   DramMeta& meta = dram_meta(idx);
-  const DramRequest& r = m_.dram_pool_[idx];
+  const DramRequest& r = m_.shard0().dram_pool[idx];
   const GlobalMemory& mem = m_.memory();
 
   // 1. Lifetime sanitize: every word of the request must fall in a live
@@ -655,7 +655,7 @@ void Checker::report() {
   }
 
   // Fresh drain-state gauges (recomputed each report, not accumulated).
-  counts_.undelivered_messages = m_.idle() ? 0 : m_.queue_.size();
+  counts_.undelivered_messages = m_.idle() ? 0 : m_.shard0().queue.size();
   if (counts_.undelivered_messages) {
     diag({CheckKind::kUndeliveredMessages, true, m_.now(), 0, 0, 0, 0, 0,
           strfmt("report with %llu message(s) still queued: the machine is not "

@@ -10,6 +10,7 @@
 // the KVMSR master when its lane is clean.
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <unordered_map>
@@ -50,7 +51,9 @@ class CombiningCache {
   EventLabel flush_ = 0;
   EventLabel loaded_ = 0;
   EventLabel written_ = 0;
-  std::uint64_t total_flushed_ = 0;
+  // Bumped by flush threads on every lane (= many shards); read host-side
+  // after drain.
+  std::atomic<std::uint64_t> total_flushed_{0};
 };
 
 }  // namespace updown::kvmsr

@@ -14,6 +14,8 @@ Addr GlobalMemory::dram_malloc(std::uint64_t size, std::uint32_t first_node,
   if (first_node + nr_nodes > nodes_)
     throw std::invalid_argument("DRAMmalloc: node range exceeds machine");
 
+  std::lock_guard<std::mutex> lk(mu_);
+
   // Physical placement: every participating node reserves the same number of
   // bytes for this region, starting at the maximum current brk across the
   // participating nodes so a single per-region node_base works for all.
@@ -24,22 +26,30 @@ Addr GlobalMemory::dram_malloc(std::uint64_t size, std::uint32_t first_node,
   const Addr base = (va_brk_ + block_size - 1) & ~(block_size - 1);
   SwizzleDescriptor d(base, size, first_node, nr_nodes, block_size, node_base);
   const std::uint64_t per_node = d.bytes_per_node();
-  for (std::uint32_t n = first_node; n < first_node + nr_nodes; ++n)
+  for (std::uint32_t n = first_node; n < first_node + nr_nodes; ++n) {
     node_brk_[n] = node_base + per_node;
+    // Materialize the backing now so the pointer-unstable resize never runs
+    // while shards access this region concurrently.
+    auto& mem = backing_[n];
+    if (mem.size() < node_brk_[n]) mem.resize(next_pow2(node_brk_[n]));
+  }
 
   d.set_alloc_seq(++alloc_seq_);
   descriptors_.push_back(d);
   va_brk_ = base + size;
+  version_.fetch_add(1, std::memory_order_release);
   if (observer_) observer_->on_alloc(d);
   return base;
 }
 
 void GlobalMemory::dram_free(Addr base) {
+  std::lock_guard<std::mutex> lk(mu_);
   for (auto it = descriptors_.begin(); it != descriptors_.end(); ++it) {
     if (it->base() == base) {
       const SwizzleDescriptor d = *it;
       descriptors_.erase(it);
       freed_.push_back({d.base(), d.size(), d.alloc_seq(), ++free_seq_});
+      version_.fetch_add(1, std::memory_order_release);
       if (observer_) observer_->on_free(d, free_seq_);
       return;
     }
@@ -98,8 +108,21 @@ std::string GlobalMemory::describe() const {
   return out;
 }
 
-const SwizzleDescriptor& GlobalMemory::find(Addr va) const {
-  if (const SwizzleDescriptor* d = find_live(va)) return *d;
+const SwizzleDescriptor& GlobalMemory::find(Addr va, DescriptorSnapshot* snap) const {
+  if (snap) {
+    for (const auto& d : snap->descs)
+      if (d.contains(va)) return d;
+    // Miss: the table may have changed since the last window boundary (a
+    // sim-time dram_malloc on another shard). Refresh once and retry before
+    // declaring the address unmapped.
+    const std::uint64_t before = snap->version;
+    refresh(*snap);
+    if (snap->version != before)
+      for (const auto& d : snap->descs)
+        if (d.contains(va)) return d;
+  } else if (const SwizzleDescriptor* d = find_live(va)) {
+    return *d;
+  }
   std::string msg = strfmt(
       "GlobalMemory: va=0x%llx is not covered by any translation descriptor",
       (unsigned long long)va);
@@ -136,10 +159,11 @@ void GlobalMemory::write_word_phys(const PhysLoc& loc, Word value) {
   std::memcpy(phys_ptr(loc, sizeof(Word)), &value, sizeof(Word));
 }
 
-void GlobalMemory::read_words(Addr va, Word* out, std::size_t nwords) const {
-  const SwizzleDescriptor* d = &find(va);
+void GlobalMemory::read_words(Addr va, Word* out, std::size_t nwords,
+                              DescriptorSnapshot* snap) const {
+  const SwizzleDescriptor* d = &find(va, snap);
   while (nwords > 0) {
-    if (!d->contains(va)) d = &find(va);
+    if (!d->contains(va)) d = &find(va, snap);
     const PhysLoc loc = d->translate(va);
     const std::uint64_t in_block = (va - d->base()) & (d->block_size() - 1);
     const std::size_t run =
@@ -158,10 +182,11 @@ void GlobalMemory::read_words(Addr va, Word* out, std::size_t nwords) const {
   }
 }
 
-void GlobalMemory::write_words(Addr va, const Word* in, std::size_t nwords) {
-  const SwizzleDescriptor* d = &find(va);
+void GlobalMemory::write_words(Addr va, const Word* in, std::size_t nwords,
+                               DescriptorSnapshot* snap) {
+  const SwizzleDescriptor* d = &find(va, snap);
   while (nwords > 0) {
-    if (!d->contains(va)) d = &find(va);
+    if (!d->contains(va)) d = &find(va, snap);
     const PhysLoc loc = d->translate(va);
     const std::uint64_t in_block = (va - d->base()) & (d->block_size() - 1);
     const std::size_t run =

@@ -13,8 +13,10 @@
 // timing methodology excludes (timings start at the first UpDown event).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -82,6 +84,18 @@ class MemoryObserver {
   }
 };
 
+/// A shard-private copy of the live descriptor table, validated against the
+/// authoritative table by version number. The sharded engine keeps one per
+/// host thread and refreshes it at window boundaries (and on lookup miss), so
+/// steady-state translation never takes the GlobalMemory mutex. Causality
+/// makes window-boundary refresh sufficient: a shard can only learn a virtual
+/// address from a cross-shard message, which arrives at least one full
+/// lookahead window after the dram_malloc that mapped it.
+struct DescriptorSnapshot {
+  std::uint64_t version = ~0ull;  ///< never matches a real version initially
+  std::vector<SwizzleDescriptor> descs;
+};
+
 class GlobalMemory {
  public:
   explicit GlobalMemory(std::uint32_t nodes)
@@ -112,6 +126,21 @@ class GlobalMemory {
   /// Hardware translation of a virtual address.
   PhysLoc translate(Addr va) const { return find(va).translate(va); }
 
+  /// Translation through a shard-private snapshot (refreshed on miss).
+  PhysLoc translate(Addr va, DescriptorSnapshot& snap) const {
+    return find(va, &snap).translate(va);
+  }
+
+  /// Bring `snap` up to date with the authoritative table if any
+  /// dram_malloc/dram_free happened since its last refresh.
+  void refresh(DescriptorSnapshot& snap) const {
+    const std::uint64_t v = version_.load(std::memory_order_acquire);
+    if (snap.version == v) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    snap.descs = descriptors_;
+    snap.version = version_.load(std::memory_order_relaxed);
+  }
+
   // ---- Physical access (used by the DRAM timing model at service time) ----
   Word read_word_phys(const PhysLoc& loc) const;
   void write_word_phys(const PhysLoc& loc, Word value);
@@ -121,8 +150,13 @@ class GlobalMemory {
   /// every `addr + 8*i`. Semantically identical to a per-word
   /// read_word_phys(translate(...)) loop, including words that straddle a
   /// block boundary at unaligned addresses.
-  void read_words(Addr va, Word* out, std::size_t nwords) const;
-  void write_words(Addr va, const Word* in, std::size_t nwords);
+  /// The optional snapshot routes descriptor lookups through a shard-private
+  /// copy of the table (see DescriptorSnapshot); pass nullptr for the
+  /// authoritative table (serial engine, host side).
+  void read_words(Addr va, Word* out, std::size_t nwords,
+                  DescriptorSnapshot* snap = nullptr) const;
+  void write_words(Addr va, const Word* in, std::size_t nwords,
+                   DescriptorSnapshot* snap = nullptr);
 
   // ---- Host-side direct access (no simulated cost) -------------------------
   void host_write(Addr va, const void* data, std::size_t bytes);
@@ -163,19 +197,28 @@ class GlobalMemory {
   void set_observer(MemoryObserver* obs) { observer_ = obs; }
 
  private:
-  const SwizzleDescriptor& find(Addr va) const;
+  const SwizzleDescriptor& find(Addr va, DescriptorSnapshot* snap = nullptr) const;
   std::uint8_t* phys_ptr(const PhysLoc& loc, std::size_t bytes);
   const std::uint8_t* phys_ptr(const PhysLoc& loc, std::size_t bytes) const;
 
   std::uint32_t nodes_;
   std::vector<SwizzleDescriptor> descriptors_;
   std::vector<FreedRegion> freed_;  ///< retired regions, in free order
-  mutable std::vector<std::vector<std::uint8_t>> backing_;  ///< grown on demand
+  // Backing is fully materialized at dram_malloc time (under mu_), so
+  // phys_ptr's on-demand growth only ever fires for host accesses outside the
+  // parallel region; during sharded execution every mapped byte is resident
+  // and pointer-stable.
+  mutable std::vector<std::vector<std::uint8_t>> backing_;
   std::vector<std::uint64_t> node_brk_;  ///< per-node physical bump pointer
   Addr va_brk_ = 0x10000;                ///< VA 0 reserved (null)
   std::uint64_t alloc_seq_ = 0;          ///< dram_malloc counter (1-based)
   std::uint64_t free_seq_ = 0;           ///< dram_free counter (1-based)
   MemoryObserver* observer_ = nullptr;
+  /// Serializes descriptor-table mutations against snapshot refreshes.
+  /// Introspection helpers (describe, live_descriptors, find_live) read the
+  /// authoritative table unlocked: they are host-side/error-path only.
+  mutable std::mutex mu_;
+  std::atomic<std::uint64_t> version_{0};  ///< bumped on every table mutation
 };
 
 }  // namespace updown

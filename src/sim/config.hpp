@@ -45,6 +45,18 @@ struct MachineConfig {
   bool check = false;           ///< enable the udcheck analysis subsystem
   bool check_sp_strict = false; ///< also flag HB-concurrent scratchpad access
 
+  // ---- Host-parallel execution ---------------------------------------------
+  // Number of host threads the event engine shards across (UD_SHARDS env
+  // overrides; clamped to the node count; udcheck forces 1). Nodes are
+  // partitioned round-robin; shards run in lock-step windows one minimum
+  // cross-node latency wide, so results are bit-identical for any value.
+  std::uint32_t shards = 1;
+
+  /// Conservative lookahead of the sharded engine: no event can cause
+  /// another event on a different node sooner than this (1 hop minimum, and
+  /// bandwidth queuing only adds delay).
+  Tick min_cross_node_latency() const { return lat_intra_node + lat_hop; }
+
   // ---- Derived --------------------------------------------------------------
   std::uint32_t lanes_per_node() const { return accels_per_node * lanes_per_accel; }
   std::uint64_t total_lanes() const {
@@ -76,8 +88,10 @@ struct MachineConfig {
   }
 
   bool valid() const {
+    // The lane-count ceiling leaves u32 headroom above the lane ids for the
+    // engine's non-lane sender entities (per-node DRAM ports and the host).
     return is_pow2(nodes) && accels_per_node > 0 && lanes_per_accel > 0 &&
-           total_lanes() <= (1ull << 32);
+           total_lanes() <= (1ull << 31) && shards >= 1;
   }
 };
 

@@ -12,13 +12,17 @@
 //     valid while handlers enqueue new work (which may grow the pool).
 //     Released indices are recycled LIFO, keeping the working set hot.
 //
-//   - CalendarEventQueue orders entries by (tick, seq) — exactly the total
-//     order the old std::priority_queue produced, so simulations are
-//     tick-for-tick identical. Near-future events (the overwhelming majority:
-//     lane latencies are tens-to-hundreds of ticks) go into a ring of
-//     bucket vectors indexed by tick; far-future events (bandwidth-queued
-//     DRAM under heavy contention) overflow into a small binary heap that is
-//     drained lazily as the calendar window advances.
+//   - CalendarEventQueue orders entries by (tick, src, seq): ties at a tick
+//     break by the sending entity (lane, per-node DRAM port, or host) and
+//     then by that entity's private send counter. Both tie-break components
+//     are computed by the sender alone, which is what lets the host-parallel
+//     sharded engine (sim/machine.cpp) reproduce the exact same total order
+//     for any shard count: no globally-shared sequence counter exists.
+//     Near-future events (the overwhelming majority: lane latencies are
+//     tens-to-hundreds of ticks) go into a ring of bucket vectors indexed by
+//     tick; far-future events (bandwidth-queued DRAM under heavy contention)
+//     overflow into a small binary heap that is drained lazily as the
+//     calendar window advances.
 #pragma once
 
 #include <algorithm>
@@ -80,17 +84,20 @@ class SlabPool {
   std::uint32_t live_ = 0;
 };
 
-/// A queued event: when it fires, what kind of payload, and where the payload
-/// lives in its pool. 24 bytes.
+/// A queued event: when it fires, who sent it (entity id + that entity's
+/// send counter — the deterministic tie-break), what kind of payload, and
+/// where the payload lives in its pool. 24 bytes.
 struct QEntry {
   Tick t = 0;
-  std::uint64_t seq = 0;
+  std::uint32_t src = 0;   ///< sending entity (lane nwid / DRAM port / host)
+  std::uint32_t seq = 0;   ///< sender-private send counter
   std::uint32_t index = 0;
   std::uint8_t kind = 0;
 };
 static_assert(sizeof(QEntry) <= 24, "queue entries must stay slim");
 
-/// Two-level calendar queue ordered by (t, seq), ties impossible (seq unique).
+/// Two-level calendar queue ordered by (t, src, seq); ties impossible since
+/// (src, seq) is unique per sender.
 class CalendarEventQueue {
  public:
   /// @param bucket_width_log2  ticks per bucket (log2)
@@ -124,10 +131,52 @@ class CalendarEventQueue {
     ++near_count_;
   }
 
-  /// Remove and return the minimum-(t, seq) entry. Precondition: !empty().
+  /// Remove and return the minimum-(t, src, seq) entry. Precondition: !empty().
   QEntry pop() {
     assert(size_ > 0);
     --size_;
+    auto& b = advance_to_min();
+    const QEntry e = b.back();
+    b.pop_back();
+    --near_count_;
+    if (b.empty()) cur_sorted_ = false;
+    return e;
+  }
+
+  /// Tick of the minimum entry without removing it. Precondition: !empty().
+  /// The sharded engine uses this to drain a shard only up to the end of the
+  /// current lookahead window.
+  Tick peek_tick() {
+    assert(size_ > 0);
+    return advance_to_min().back().t;
+  }
+
+  struct Stats {
+    std::uint64_t far_events = 0;   ///< pushes that overflowed to the far heap
+    std::uint64_t bucket_sorts = 0; ///< lazy bucket sorts performed
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct DescOrder {
+    bool operator()(const QEntry& a, const QEntry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      if (a.src != b.src) return a.src > b.src;
+      return a.seq > b.seq;
+    }
+  };
+  struct MinOrder {  // std::priority_queue is a max-heap; invert for min
+    bool operator()(const QEntry& a, const QEntry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      if (a.src != b.src) return a.src > b.src;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Advance the cursor to the first non-empty bucket and return it sorted
+  /// (descending, so the minimum entry is at the back). Precondition: the
+  /// queue holds at least one entry.
+  std::vector<QEntry>& advance_to_min() {
     for (;;) {
       auto& b = buckets_[cur_vidx_ & mask_];
       if (!b.empty()) {
@@ -138,11 +187,7 @@ class CalendarEventQueue {
           }
           cur_sorted_ = true;
         }
-        const QEntry e = b.back();
-        b.pop_back();
-        --near_count_;
-        if (b.empty()) cur_sorted_ = false;
-        return e;
+        return b;
       }
       cur_sorted_ = false;
       if (near_count_ == 0) {
@@ -156,24 +201,6 @@ class CalendarEventQueue {
       drain_far();
     }
   }
-
-  struct Stats {
-    std::uint64_t far_events = 0;   ///< pushes that overflowed to the far heap
-    std::uint64_t bucket_sorts = 0; ///< lazy bucket sorts performed
-  };
-  const Stats& stats() const { return stats_; }
-
- private:
-  struct DescOrder {
-    bool operator()(const QEntry& a, const QEntry& b) const {
-      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
-    }
-  };
-  struct MinOrder {  // std::priority_queue is a max-heap; invert for min
-    bool operator()(const QEntry& a, const QEntry& b) const {
-      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
-    }
-  };
 
   void drain_far() {
     const Tick limit = (cur_vidx_ + nbuckets_) << wshift_;

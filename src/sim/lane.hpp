@@ -22,6 +22,11 @@ class Lane {
 
   Tick free_at = 0;
   LaneStats stats;
+  /// Sender-private counter stamped into every queue entry this lane
+  /// originates (messages and DRAM requests alike). Together with the lane's
+  /// nwid it forms the deterministic (tick, src, seq) tie-break — see
+  /// sim/event_queue.hpp.
+  std::uint32_t send_seq = 0;
 
   // ---- Thread contexts ------------------------------------------------------
   ThreadId allocate_thread(std::unique_ptr<ThreadState> state) {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
+#include <thread>
 
 #include "check/checker.hpp"
 #include "common/log.hpp"
@@ -18,7 +20,29 @@ bool env_flag(const char* name, bool fallback) {
   if (!v || !*v) return fallback;
   return !(v[0] == '0' && v[1] == '\0');
 }
+
+/// Integer env override (UD_SHARDS): unset/empty/0 leaves the default.
+std::uint32_t env_u32(const char* name, std::uint32_t fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  const unsigned long parsed = std::strtoul(v, nullptr, 10);
+  return parsed > 0 ? static_cast<std::uint32_t>(parsed) : fallback;
+}
+
+constexpr Tick kNoEvent = std::numeric_limits<Tick>::max();
 }  // namespace
+
+void SpinBarrier::arrive_and_wait() {
+  const std::uint32_t gen = generation_.load(std::memory_order_acquire);
+  if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+    count_.store(0, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
+  } else {
+    unsigned spins = 0;
+    while (generation_.load(std::memory_order_acquire) == gen)
+      if (++spins >= 4096) std::this_thread::yield();
+  }
+}
 
 Machine::Machine(MachineConfig cfg)
     : cfg_(cfg),
@@ -26,7 +50,8 @@ Machine::Machine(MachineConfig cfg)
       network_(cfg_),
       dram_(cfg_),
       lpn_div_(cfg_.lanes_per_node()),
-      lpa_div_(cfg_.lanes_per_accel) {
+      lpa_div_(cfg_.lanes_per_accel),
+      barrier_(1) {
   if (!cfg_.valid()) throw std::invalid_argument("Machine: invalid configuration");
   lanes_.reserve(cfg_.total_lanes());
   for (std::uint64_t i = 0; i < cfg_.total_lanes(); ++i)
@@ -35,6 +60,25 @@ Machine::Machine(MachineConfig cfg)
     checker_ = std::make_unique<Checker>(
         *this, env_flag("UD_CHECK_SP_STRICT", cfg_.check_sp_strict));
     memory_.set_observer(checker_.get());
+  }
+
+  nshards_ = std::min(env_u32("UD_SHARDS", cfg_.shards), cfg_.nodes);
+  if (nshards_ == 0) nshards_ = 1;
+  // The checker's side tables (vector clocks, shadow cells, lifetime maps)
+  // are engine-global; it runs on the serial engine only. Documented
+  // fallback: UD_CHECK=1 force-sets shards=1.
+  if (checker_) nshards_ = 1;
+  if (nshards_ > 1 && cfg_.min_cross_node_latency() < 1)
+    throw std::invalid_argument(
+        "Machine: sharded execution needs a nonzero cross-node latency "
+        "(the conservative lookahead window)");
+  barrier_.set_parties(nshards_);
+  local_min_.assign(nshards_, kNoEvent);
+  dram_seq_.assign(cfg_.nodes, 0);
+  shards_.reserve(nshards_);
+  for (std::uint32_t s = 0; s < nshards_; ++s) {
+    shards_.push_back(std::make_unique<EngineShard>());
+    shards_.back()->outbox.resize(nshards_);
   }
 }
 
@@ -52,15 +96,20 @@ void Machine::send_from_host(Word event_word, const Word* ops, std::size_t nops,
   for (std::size_t i = 0; i < nops; ++i) m.ops[i] = ops[i];
   m.src = first_lane_of_node(0);  // the TOP core is attached to node 0
   if (checker_) checker_->on_host_send();
-  route_message(std::move(m), now_);
+  // The engine is idle here, so routing from shard 0 (which owns node 0's
+  // network buckets) is race-free; a cross-shard destination just parks the
+  // message in the mailbox until run() merges it.
+  route_message(shard0(), host_entity(), host_seq_++, std::move(m), now_);
 }
 
-void Machine::enqueue(Tick t, Kind kind, std::uint32_t pool_index) {
-  queue_.push(QEntry{t, seq_++, pool_index, static_cast<std::uint8_t>(kind)});
-  if (queue_.size() > stats_.max_queue_depth) stats_.max_queue_depth = queue_.size();
+void Machine::push(EngineShard& sh, const QEntry& e) {
+  sh.queue.push(e);
+  if (sh.queue.size() > sh.stats.max_queue_depth)
+    sh.stats.max_queue_depth = sh.queue.size();
 }
 
-void Machine::route_message(Message&& m, Tick depart) {
+void Machine::route_message(EngineShard& sh, std::uint32_t ent, std::uint32_t seq,
+                            Message&& m, Tick depart) {
   const NetworkId dst = evw::nwid(m.evw);
   if (dst >= lanes_.size()) {
     // Checked mode reports the bad event word and drops the send so the
@@ -70,16 +119,24 @@ void Machine::route_message(Message&& m, Tick depart) {
   }
   const std::uint32_t bytes = m.payload_bytes(cfg_.msg_header_bytes);
   const Tick arrive = network_.arrival(depart, m.src, dst, bytes);
-  stats_.messages_sent++;
-  stats_.message_bytes += bytes;
-  if (node_of(m.src) != node_of(dst)) stats_.cross_node_messages++;
-  const std::uint32_t idx = msg_pool_.acquire();
-  msg_pool_[idx] = m;
-  if (checker_) checker_->on_route_message(idx, depart);
-  enqueue(arrive, kMsg, idx);
+  sh.stats.messages_sent++;
+  sh.stats.message_bytes += bytes;
+  const std::uint32_t dst_node = node_of(dst);
+  if (node_of(m.src) != dst_node) sh.stats.cross_node_messages++;
+  const std::uint32_t dshard = shard_of(dst_node);
+  EngineShard& dsh = *shards_[dshard];
+  if (&dsh == &sh) {
+    const std::uint32_t idx = sh.msg_pool.acquire();
+    sh.msg_pool[idx] = m;
+    if (checker_) checker_->on_route_message(idx, depart);
+    push(sh, QEntry{arrive, ent, seq, idx, kMsg});
+  } else {
+    sh.outbox[dshard].msgs.push_back({arrive, ent, seq, m});
+  }
 }
 
-void Machine::route_dram(DramRequest&& r, Tick depart) {
+void Machine::route_dram(EngineShard& sh, std::uint32_t ent, std::uint32_t seq,
+                         DramRequest&& r, Tick depart) {
   // Translate once at routing time; the home node rides along in the request.
   bool addr_mapped = true;
   if (checker_) {
@@ -91,6 +148,8 @@ void Machine::route_dram(DramRequest&& r, Tick depart) {
       addr_mapped = false;
       r.dst_node = 0;
     }
+  } else if (nshards_ > 1) {
+    r.dst_node = memory_.translate(r.addr, sh.mem_snap).node;
   } else {
     r.dst_node = memory_.translate(r.addr).node;
   }
@@ -98,15 +157,21 @@ void Machine::route_dram(DramRequest&& r, Tick depart) {
       cfg_.msg_header_bytes + (r.is_write ? r.nwords * 8u : 0u);
   const Tick arrive =
       network_.arrival(depart, r.src, first_lane_of_node(r.dst_node), req_bytes);
-  if (node_of(r.src) != r.dst_node) stats_.remote_dram_accesses++;
-  const std::uint32_t idx = dram_pool_.acquire();
-  dram_pool_[idx] = r;
-  if (checker_) checker_->on_route_dram(idx, addr_mapped, depart);
-  enqueue(arrive, kDram, idx);
+  if (node_of(r.src) != r.dst_node) sh.stats.remote_dram_accesses++;
+  const std::uint32_t dshard = shard_of(r.dst_node);
+  EngineShard& dsh = *shards_[dshard];
+  if (&dsh == &sh) {
+    const std::uint32_t idx = sh.dram_pool.acquire();
+    sh.dram_pool[idx] = r;
+    if (checker_) checker_->on_route_dram(idx, addr_mapped, depart);
+    push(sh, QEntry{arrive, ent, seq, idx, kDram});
+  } else {
+    sh.outbox[dshard].drams.push_back({arrive, ent, seq, r});
+  }
 }
 
-void Machine::exec_message(std::uint32_t pool_index, Tick arrive) {
-  Message& m = msg_pool_[pool_index];
+void Machine::exec_message(EngineShard& sh, std::uint32_t pool_index, Tick arrive) {
+  Message& m = sh.msg_pool[pool_index];
   const NetworkId dst = evw::nwid(m.evw);
   Lane& lane = lanes_[dst];
   const Tick start = std::max(arrive, lane.free_at);
@@ -122,11 +187,9 @@ void Machine::exec_message(std::uint32_t pool_index, Tick arrive) {
   ThreadId tid;
   if (new_thread) {
     tid = lane.allocate_thread(def);  // Thread Create: 0 cycles (recycles state)
-    stats_.threads_created++;
-    std::uint64_t live = 0;
-    // Tracking exact global live counts cheaply: maintain incrementally.
-    live = ++live_threads_;
-    if (live > stats_.max_live_threads) stats_.max_live_threads = live;
+    sh.stats.threads_created++;
+    const std::uint64_t live = ++sh.live_threads;
+    if (live > sh.stats.max_live_threads) sh.stats.max_live_threads = live;
   } else {
     tid = evw::tid(m.evw);
   }
@@ -143,42 +206,43 @@ void Machine::exec_message(std::uint32_t pool_index, Tick arrive) {
   UDSIM_LOG(LogLevel::kDebug, start, "[NWID %u][TID %u] %s (%u ops)", dst, tid,
             def.name.c_str(), m.nops);
   if (checker_) checker_->on_task_begin(pool_index, dst, tid, label, start, new_thread);
-  Ctx ctx(*this, lane, m, start, tid, cevnt, state);
+  Ctx ctx(*this, sh, lane, m, start, tid, cevnt, state);
   def.invoke(ctx, state);
 
   const std::uint64_t cost = ctx.charged() + 1;  // +1: Thread Yield at return
   lane.free_at = start + cost;
   lane.stats.busy_cycles += cost;
   lane.stats.events_executed++;
-  stats_.events_executed++;
-  stats_.charged_cycles += cost;
+  sh.stats.events_executed++;
+  sh.stats.charged_cycles += cost;
   if (ctx.terminated()) {
     lane.deallocate_thread(tid);
-    stats_.threads_destroyed++;
-    --live_threads_;
+    sh.stats.threads_destroyed++;
+    --sh.live_threads;
   }
   if (checker_) checker_->on_task_end(dst, tid, ctx.terminated());
-  if (lane.free_at > now_) now_ = lane.free_at;
+  if (lane.free_at > sh.now) sh.now = lane.free_at;
 }
 
-void Machine::exec_dram(std::uint32_t pool_index, Tick arrive) {
-  DramRequest& r = dram_pool_[pool_index];
+void Machine::exec_dram(EngineShard& sh, std::uint32_t pool_index, Tick arrive) {
+  DramRequest& r = sh.dram_pool[pool_index];
   const std::uint32_t data_bytes = r.nwords * 8u + cfg_.msg_header_bytes;
   const Tick ready = dram_.service(arrive, r.dst_node, data_bytes);
+  DescriptorSnapshot* snap = nshards_ > 1 ? &sh.mem_snap : nullptr;
 
   // Checked mode sanitizes the address range (OOB/UAF) and race-checks each
   // word; invalid accesses are suppressed (reads deliver zeros) so the run
   // can continue to the report instead of corrupting host memory.
   const bool ok = !checker_ || checker_->on_dram_exec(pool_index, arrive);
   if (r.is_write) {
-    if (ok) memory_.write_words(r.addr, r.data.data(), r.nwords);
-    stats_.dram_writes++;
+    if (ok) memory_.write_words(r.addr, r.data.data(), r.nwords, snap);
+    sh.stats.dram_writes++;
   } else {
-    if (ok) memory_.read_words(r.addr, r.data.data(), r.nwords);
+    if (ok) memory_.read_words(r.addr, r.data.data(), r.nwords, snap);
     else r.data.fill(0);
-    stats_.dram_reads++;
+    sh.stats.dram_reads++;
   }
-  stats_.dram_bytes += r.nwords * 8u;
+  sh.stats.dram_bytes += r.nwords * 8u;
 
   if (r.reply_evw != 0) {
     Message resp;
@@ -188,40 +252,170 @@ void Machine::exec_dram(std::uint32_t pool_index, Tick arrive) {
     if (!r.is_write) resp.ops = r.data;
     resp.src = first_lane_of_node(r.dst_node);
     if (checker_) checker_->begin_dram_reply(pool_index);
-    route_message(std::move(resp), ready);
+    // The reply is sent by the home node's DRAM port: a sender entity of its
+    // own, with its own counter, so the (tick, src, seq) order of replies is
+    // shard-count-invariant just like lane sends.
+    route_message(sh, dram_entity(r.dst_node), dram_seq_[r.dst_node]++,
+                  std::move(resp), ready);
   }
   if (checker_) checker_->on_dram_done(pool_index);
-  if (ready > now_) now_ = ready;
+  if (ready > sh.now) sh.now = ready;
 }
 
 bool Machine::step() {
-  if (queue_.empty()) return false;
-  const QEntry e = queue_.pop();
-  if (e.t > now_) now_ = e.t;
+  if (nshards_ > 1)
+    throw std::logic_error("Machine::step: single-stepping requires shards == 1");
+  EngineShard& sh = shard0();
+  if (sh.queue.empty()) return false;
+  const QEntry e = sh.queue.pop();
+  if (e.t > sh.now) sh.now = e.t;
   if (e.kind == kMsg) {
     // The pooled payload stays in place through execution; handlers may
     // acquire new slots (slabs are stable), and the slot is recycled after.
-    exec_message(e.index, e.t);
-    msg_pool_.release(e.index);
+    exec_message(sh, e.index, e.t);
+    sh.msg_pool.release(e.index);
   } else {
-    exec_dram(e.index, e.t);
-    dram_pool_.release(e.index);
+    exec_dram(sh, e.index, e.t);
+    sh.dram_pool.release(e.index);
   }
+  now_ = sh.now;
   return true;
 }
 
 void Machine::run() {
-  while (step()) {
+  if (nshards_ == 1) {
+    while (step()) {
+    }
+    if (checker_) {
+      flush_stats();  // the report writes stats_.check; totals first
+      checker_->report();
+    }
+    return;
   }
-  if (checker_) checker_->report();
+
+  const Tick lookahead = cfg_.min_cross_node_latency();
+  abort_.store(false, std::memory_order_relaxed);
+  std::vector<std::thread> workers;
+  workers.reserve(nshards_ - 1);
+  for (std::uint32_t s = 1; s < nshards_; ++s)
+    workers.emplace_back([this, s, lookahead] { run_shard(s, lookahead); });
+  run_shard(0, lookahead);
+  for (auto& w : workers) w.join();
+
+  for (const auto& sh : shards_)
+    if (sh->now > now_) now_ = sh->now;
+
+  std::exception_ptr first;
+  for (auto& sh : shards_) {
+    if (sh->eptr && !first) first = sh->eptr;
+    sh->eptr = nullptr;
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+void Machine::run_shard(std::uint32_t my, Tick lookahead) {
+  EngineShard& sh = *shards_[my];
+  // Every shard walks the same round structure and hits every barrier the
+  // same number of times; both exit tests (quiescence, abort) are decisions
+  // all shards reach identically, so nobody is left stranded at a barrier.
+  for (;;) {
+    // 1. Merge mail addressed to this shard. The producers appended before
+    // barrier B of the previous round; we clear before barrier A, ahead of
+    // any new appends. Every mailed event's tick is at least one full
+    // lookahead window ahead, so merged entries never sort before anything
+    // this shard already executed.
+    try {
+      for (std::uint32_t s = 0; s < nshards_; ++s) {
+        EngineShard::MailBox& box = shards_[s]->outbox[my];
+        for (EngineShard::MailMsg& mm : box.msgs) {
+          const std::uint32_t idx = sh.msg_pool.acquire();
+          sh.msg_pool[idx] = mm.m;
+          push(sh, QEntry{mm.t, mm.ent, mm.seq, idx, kMsg});
+        }
+        for (EngineShard::MailDram& md : box.drams) {
+          const std::uint32_t idx = sh.dram_pool.acquire();
+          sh.dram_pool[idx] = md.r;
+          push(sh, QEntry{md.t, md.ent, md.seq, idx, kDram});
+        }
+        sh.mail_received += box.msgs.size() + box.drams.size();
+        box.msgs.clear();
+        box.drams.clear();
+      }
+      memory_.refresh(sh.mem_snap);
+    } catch (...) {
+      if (!sh.eptr) sh.eptr = std::current_exception();
+    }
+    // A shard that failed (this round's merge, or last round's exec) raises
+    // the abort flag here, strictly before barrier A. Every store to abort_
+    // is pre-A and every load post-A, so all shards take the same branch; a
+    // store from inside the exec phase could be observed by a shard still at
+    // its abort check, stranding the thrower at barrier B.
+    if (sh.eptr) abort_.store(true, std::memory_order_release);
+    local_min_[my] = sh.queue.empty() ? kNoEvent : sh.queue.peek_tick();
+
+    barrier_.arrive_and_wait();  // A: local minima published, mailboxes clear
+
+    // 2. Same inputs on every shard -> same decision on every shard.
+    if (abort_.load(std::memory_order_acquire)) break;
+    Tick window = kNoEvent;
+    for (std::uint32_t s = 0; s < nshards_; ++s)
+      window = std::min(window, local_min_[s]);
+    if (window == kNoEvent) break;  // globally quiescent
+    if (my == 0) ++windows_;
+
+    // 3. Execute everything strictly inside [window, window + lookahead).
+    // Same-shard sends may land inside the window and are drained here too;
+    // cross-shard sends can't (their latency is at least the lookahead).
+    const Tick wend = window + lookahead;
+    try {
+      while (!sh.queue.empty() && sh.queue.peek_tick() < wend) {
+        const QEntry e = sh.queue.pop();
+        if (e.t > sh.now) sh.now = e.t;
+        if (e.kind == kMsg) {
+          exec_message(sh, e.index, e.t);
+          sh.msg_pool.release(e.index);
+        } else {
+          exec_dram(sh, e.index, e.t);
+          sh.dram_pool.release(e.index);
+        }
+      }
+    } catch (...) {
+      // Record only; the abort flag is published at the top of the next
+      // round, before barrier A (see above).
+      if (!sh.eptr) sh.eptr = std::current_exception();
+    }
+
+    barrier_.arrive_and_wait();  // B: all outbox appends for this round done
+  }
+}
+
+void Machine::flush_stats() {
+  for (auto& sh : shards_) {
+    stats_.merge(sh->stats);
+    sh->stats.reset();
+  }
+}
+
+bool Machine::idle() const {
+  for (const auto& sh : shards_) {
+    if (!sh->queue.empty()) return false;
+    for (const auto& box : sh->outbox)
+      if (!box.msgs.empty() || !box.drams.empty()) return false;
+  }
+  return true;
 }
 
 EngineStats Machine::engine_stats() const {
   EngineStats es;
-  es.far_events = queue_.stats().far_events;
-  es.bucket_sorts = queue_.stats().bucket_sorts;
-  es.msg_pool_capacity = msg_pool_.capacity();
-  es.dram_pool_capacity = dram_pool_.capacity();
+  for (const auto& sh : shards_) {
+    es.far_events += sh->queue.stats().far_events;
+    es.bucket_sorts += sh->queue.stats().bucket_sorts;
+    es.msg_pool_capacity += sh->msg_pool.capacity();
+    es.dram_pool_capacity += sh->dram_pool.capacity();
+    es.mailbox_messages += sh->mail_received;
+  }
+  es.shards = nshards_;
+  es.windows = windows_;
   return es;
 }
 

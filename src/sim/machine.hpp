@@ -5,9 +5,22 @@
 // that charge cycle costs through the intrinsic API (paper Table 2), while
 // DRAM and the network use streamlined latency/bandwidth models — the same
 // modeling split the paper describes for Fastsim.
+//
+// Host-parallel execution (UD_SHARDS / MachineConfig::shards): the engine
+// can shard the machine's nodes round-robin across host threads. Each shard
+// owns a calendar queue, payload pools, and a stats block, and all shards run
+// in lock-step windows one minimum cross-node latency wide — the classic
+// conservative-PDES lookahead, which UpDown's node-local event semantics
+// provide for free. Cross-shard sends travel through per-(src,dst) mailboxes
+// merged at window boundaries. Because every queue entry is ordered by
+// (tick, sending entity, sender-private seq) — no globally shared counter —
+// the merged schedule is bit-identical to the serial engine for any shard
+// count. See DESIGN.md "Host-parallel execution" for the full argument.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <stdexcept>
 #include <typeindex>
@@ -29,6 +42,61 @@ namespace updown {
 
 class Ctx;
 class Checker;
+
+/// Reusable spin barrier (generation-counting). The window protocol crosses
+/// it twice per round; rounds are short (one lookahead window of events), so
+/// spinning with a yield fallback beats futex-based synchronization.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::uint32_t n) : n_(n) {}
+
+  /// Set the participant count. Only valid while no thread is waiting.
+  void set_parties(std::uint32_t n) { n_ = n; }
+
+  void arrive_and_wait();
+
+ private:
+  std::uint32_t n_;
+  std::atomic<std::uint32_t> count_{0};
+  std::atomic<std::uint32_t> generation_{0};
+};
+
+/// Everything one host thread owns when the engine is sharded: the calendar
+/// queue and payload pools for the nodes assigned to it, a stats delta block
+/// (folded into Machine::stats_ lazily), outgoing mailboxes (one per
+/// destination shard, drained by the destination at the next window
+/// boundary), and a private snapshot of the DRAM descriptor table. The
+/// serial engine is simply shard 0 used alone.
+struct EngineShard {
+  /// An event in flight between shards: the queue-entry key (arrival tick,
+  /// sending entity, sender seq) plus the payload by value. The destination
+  /// re-pools the payload when it merges its inbox.
+  struct MailMsg {
+    Tick t;
+    std::uint32_t ent, seq;
+    Message m;
+  };
+  struct MailDram {
+    Tick t;
+    std::uint32_t ent, seq;
+    DramRequest r;
+  };
+  struct MailBox {
+    std::vector<MailMsg> msgs;
+    std::vector<MailDram> drams;
+  };
+
+  CalendarEventQueue queue;
+  SlabPool<Message> msg_pool;
+  SlabPool<DramRequest> dram_pool;
+  MachineStats stats;  ///< delta since the last flush into Machine::stats_
+  Tick now = 0;
+  std::uint64_t live_threads = 0;
+  std::uint64_t mail_received = 0;  ///< events merged in from other shards
+  std::vector<MailBox> outbox;      ///< indexed by destination shard
+  DescriptorSnapshot mem_snap;      ///< refreshed at every window boundary
+  std::exception_ptr eptr;          ///< first exception thrown on this shard
+};
 
 class Machine {
  public:
@@ -56,6 +124,14 @@ class Machine {
   }
   Lane& lane(NetworkId nwid) { return lanes_.at(nwid); }
 
+  // ---- Sharding -------------------------------------------------------------
+  /// Host threads the engine runs on (resolved from UD_SHARDS /
+  /// MachineConfig::shards, clamped to the node count; 1 when checking).
+  std::uint32_t shards() const { return nshards_; }
+  std::uint32_t shard_of(std::uint32_t node) const {
+    return nshards_ == 1 ? 0 : node % nshards_;
+  }
+
   // ---- Host (TOP core) interface --------------------------------------------
   /// Inject an event from the host; it is delivered to the target lane with
   /// intra-node latency from node 0.
@@ -64,12 +140,17 @@ class Machine {
   void send_from_host(Word event_word, const Word* ops, std::size_t nops,
                       Word cont = IGNRCONT);
 
-  /// Run the simulation until the event queue drains (quiescence).
+  /// Run the simulation until the event queue drains (quiescence). With
+  /// shards > 1, spawns the worker threads for the duration of the run; an
+  /// exception thrown by any shard stops all shards at the next window
+  /// boundary and is rethrown here (lowest shard index wins when several
+  /// shards fault in the same window).
   void run();
   /// Execute a single queued item; returns false when the queue is empty.
+  /// Serial engine only (throws std::logic_error when shards > 1).
   bool step();
-  bool idle() const { return queue_.empty(); }
-  /// Host-side gauges of the event engine (queue/pool behavior).
+  bool idle() const;
+  /// Host-side gauges of the event engine (queue/pool/shard behavior).
   EngineStats engine_stats() const;
 
   Tick now() const { return now_; }
@@ -80,8 +161,17 @@ class Machine {
   Checker* checker() { return checker_.get(); }
 
   // ---- Statistics ------------------------------------------------------------
-  MachineStats& stats() { return stats_; }
-  const MachineStats& stats() const { return stats_; }
+  // Execution accumulates into per-shard delta blocks; the accessors fold
+  // outstanding deltas into the machine total first. Host-side use only (not
+  // concurrent with run()).
+  MachineStats& stats() {
+    flush_stats();
+    return stats_;
+  }
+  const MachineStats& stats() const {
+    const_cast<Machine*>(this)->flush_stats();
+    return stats_;
+  }
   std::vector<LaneStats> lane_stats() const;
   LaneActivity lane_activity() const;
 
@@ -128,13 +218,36 @@ class Machine {
 
   enum Kind : std::uint8_t { kMsg, kDram };
 
+  // ---- Sender entity ids ----------------------------------------------------
+  // Every queue entry carries the id of the entity that produced it plus that
+  // entity's private send counter: lanes use their nwid and Lane::send_seq,
+  // each node's DRAM port and the host get ids above the lane space.
+  std::uint32_t dram_entity(std::uint32_t node) const {
+    return static_cast<std::uint32_t>(cfg_.total_lanes()) + node;
+  }
+  std::uint32_t host_entity() const {
+    return static_cast<std::uint32_t>(cfg_.total_lanes()) + cfg_.nodes;
+  }
+
   // Internal send paths, used by Ctx and by the host interface. Payloads are
-  // parked in the slab pools; the calendar queue holds slim QEntry records.
-  void route_message(Message&& m, Tick depart);
-  void route_dram(DramRequest&& r, Tick depart);
-  void exec_message(std::uint32_t pool_index, Tick arrive);
-  void exec_dram(std::uint32_t pool_index, Tick arrive);
-  void enqueue(Tick t, Kind kind, std::uint32_t pool_index);
+  // parked in the slab pools of the *destination* shard; same-shard sends
+  // pool directly, cross-shard sends ride the mailbox until the window
+  // boundary. `sh` is the shard doing the sending (it owns the network
+  // token buckets of the sending node and takes the stats deltas).
+  void route_message(EngineShard& sh, std::uint32_t ent, std::uint32_t seq,
+                     Message&& m, Tick depart);
+  void route_dram(EngineShard& sh, std::uint32_t ent, std::uint32_t seq,
+                  DramRequest&& r, Tick depart);
+  void exec_message(EngineShard& sh, std::uint32_t pool_index, Tick arrive);
+  void exec_dram(EngineShard& sh, std::uint32_t pool_index, Tick arrive);
+  void push(EngineShard& sh, const QEntry& e);
+
+  /// One shard's half of the window protocol (body of run() when sharded).
+  void run_shard(std::uint32_t my, Tick lookahead);
+  /// Fold all shards' stats deltas into stats_ and zero the deltas.
+  void flush_stats();
+
+  EngineShard& shard0() { return *shards_[0]; }  ///< serial engine / checker view
 
   MachineConfig cfg_;
   Program program_;
@@ -144,11 +257,14 @@ class Machine {
   std::vector<Lane> lanes_;  ///< by value: one indirection per event, not two
   FastDiv lpn_div_;  ///< by lanes_per_node()
   FastDiv lpa_div_;  ///< by lanes_per_accel
-  CalendarEventQueue queue_;
-  SlabPool<Message> msg_pool_;
-  SlabPool<DramRequest> dram_pool_;
-  std::uint64_t seq_ = 0;
-  std::uint64_t live_threads_ = 0;
+  std::uint32_t nshards_ = 1;
+  std::vector<std::unique_ptr<EngineShard>> shards_;
+  std::vector<std::uint32_t> dram_seq_;  ///< per-node DRAM-port send counters
+  std::uint32_t host_seq_ = 0;           ///< host send counter
+  SpinBarrier barrier_;
+  std::vector<Tick> local_min_;  ///< per-shard queue minimum, valid at barrier A
+  std::atomic<bool> abort_{false};
+  std::uint64_t windows_ = 0;  ///< lock-step windows executed (shard 0 counts)
   Tick now_ = 0;
   MachineStats stats_;
   std::unique_ptr<Checker> checker_;  ///< null unless checking is enabled

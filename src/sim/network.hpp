@@ -6,6 +6,12 @@
 // exactly those: a three-level hierarchical grouping assigns each node pair a
 // hop distance in {1,2,3}, and token-bucket "next free time" counters model
 // injection and bisection bandwidth contention.
+//
+// All token buckets are keyed by the *source* node: injection naturally, and
+// bisection as a per-node share of the machine-wide bisection capacity
+// (bw_bisection_per_node). Source-keyed state is what lets the sharded engine
+// (sim/machine.cpp) call arrival() concurrently from the shard that owns the
+// sending node without locks and without any cross-shard ordering dependence.
 #pragma once
 
 #include <algorithm>
@@ -25,7 +31,7 @@ class NetworkModel {
         lpn_div_(cfg.lanes_per_node()),
         lpa_div_(cfg.lanes_per_accel),
         inject_free_(cfg.nodes, 0.0),
-        bisection_free_(0.0) {
+        bisection_free_(cfg.nodes, 0.0) {
     // Pick group shifts so that nodes are split into ~cube-root-sized tiers:
     // same L1 group => 1 hop, same L2 group => 2 hops, else 3 hops.
     const unsigned bits = cfg.nodes > 1 ? log2_exact(next_pow2(cfg.nodes)) : 0;
@@ -66,9 +72,10 @@ class NetworkModel {
     inj = inj_start + bytes / cfg_.bw_inject_node;
     t = inj;
     if (crosses_bisection(node_s, node_d)) {
-      const double start = std::max(t, bisection_free_);
-      bisection_free_ = start + bytes / cfg_.bisection_bytes_per_cycle();
-      t = bisection_free_;
+      double& bis = bisection_free_[node_s];
+      const double start = std::max(t, bis);
+      bis = start + bytes / cfg_.bw_bisection_per_node;
+      t = bis;
     }
     const Tick lat = cfg_.lat_intra_node + cfg_.lat_hop * hops(node_s, node_d);
     return static_cast<Tick>(std::ceil(t)) + lat;
@@ -76,7 +83,7 @@ class NetworkModel {
 
   void reset() {
     std::fill(inject_free_.begin(), inject_free_.end(), 0.0);
-    bisection_free_ = 0.0;
+    std::fill(bisection_free_.begin(), bisection_free_.end(), 0.0);
   }
 
  private:
@@ -84,7 +91,7 @@ class NetworkModel {
   FastDiv lpn_div_;  ///< by lanes_per_node(): node of a global lane id
   FastDiv lpa_div_;  ///< by lanes_per_accel: accelerator of a global lane id
   std::vector<double> inject_free_;  ///< per-node injection next-free time
-  double bisection_free_;
+  std::vector<double> bisection_free_;  ///< per-src-node bisection-share next-free time
   unsigned l1_shift_ = 0, l2_shift_ = 1;
 };
 

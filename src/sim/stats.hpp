@@ -71,6 +71,28 @@ struct MachineStats {
   CheckSummary check;  ///< udcheck results (all-zero when UD_CHECK is off)
 
   void reset() { *this = MachineStats{}; }
+
+  /// Fold a shard's delta block into a machine-wide total. Counters add; the
+  /// two engine gauges (`max_queue_depth`, `max_live_threads`) combine by
+  /// max, i.e. the peak any single shard observed — exact when shards == 1,
+  /// a per-shard view otherwise (the determinism goldens exclude them).
+  /// `check` is left alone — the checker runs serial-only and writes its
+  /// summary into the machine total directly.
+  void merge(const MachineStats& s) {
+    events_executed += s.events_executed;
+    charged_cycles += s.charged_cycles;
+    messages_sent += s.messages_sent;
+    message_bytes += s.message_bytes;
+    cross_node_messages += s.cross_node_messages;
+    dram_reads += s.dram_reads;
+    dram_writes += s.dram_writes;
+    dram_bytes += s.dram_bytes;
+    remote_dram_accesses += s.remote_dram_accesses;
+    threads_created += s.threads_created;
+    threads_destroyed += s.threads_destroyed;
+    max_live_threads = std::max(max_live_threads, s.max_live_threads);
+    max_queue_depth = std::max(max_queue_depth, s.max_queue_depth);
+  }
 };
 
 /// Host-side gauges of the event engine itself (not simulated quantities):
@@ -81,6 +103,9 @@ struct EngineStats {
   std::uint64_t bucket_sorts = 0;      ///< lazy calendar-bucket sorts
   std::uint32_t msg_pool_capacity = 0;   ///< message slots ever allocated
   std::uint32_t dram_pool_capacity = 0;  ///< DRAM-request slots ever allocated
+  std::uint32_t shards = 1;            ///< host threads the run sharded over
+  std::uint64_t windows = 0;           ///< lock-step lookahead windows executed
+  std::uint64_t mailbox_messages = 0;  ///< events handed between shards
 };
 
 /// Aggregate view over per-lane activity.

@@ -27,9 +27,10 @@ namespace updown {
 
 class Ctx {
  public:
-  Ctx(Machine& m, Lane& lane, Message& msg, Tick start, ThreadId tid, Word cevnt,
-      ThreadState& state)
+  Ctx(Machine& m, EngineShard& sh, Lane& lane, Message& msg, Tick start, ThreadId tid,
+      Word cevnt, ThreadState& state)
       : m_(m),
+        sh_(sh),
         lane_(lane),
         msg_(msg),
         start_(start),
@@ -87,7 +88,7 @@ class Ctx {
     m.src = nwid();
     charge(n > 3 ? 2 : 1);  // Send Message: 1-2 cycles
     lane_.stats.messages_sent++;
-    m_.route_message(std::move(m), now());
+    m_.route_message(sh_, nwid_, lane_.send_seq++, std::move(m), now());
   }
 
   /// send_event after `delay` cycles (the lane timer: used for paced retry
@@ -103,7 +104,7 @@ class Ctx {
     m.src = nwid();
     charge(1);
     lane_.stats.messages_sent++;
-    m_.route_message(std::move(m), now() + delay);
+    m_.route_message(sh_, nwid_, lane_.send_seq++, std::move(m), now() + delay);
   }
 
   /// Reply along the received continuation (no-op when CCONT == IGNRCONT).
@@ -130,7 +131,7 @@ class Ctx {
     r.reply_cont = reply_cont;
     r.src = nwid();
     charge(2);  // Send DRAM: 1-2 cycles
-    m_.route_dram(std::move(r), now());
+    m_.route_dram(sh_, nwid_, lane_.send_seq++, std::move(r), now());
   }
 
   /// Write words to DRAM; if `ack_label` != 0 an acknowledgement event is
@@ -152,7 +153,7 @@ class Ctx {
     r.reply_cont = reply_cont;
     r.src = nwid();
     charge(2);
-    m_.route_dram(std::move(r), now());
+    m_.route_dram(sh_, nwid_, lane_.send_seq++, std::move(r), now());
   }
 
   // ---- Scratchpad ------------------------------------------------------------
@@ -224,6 +225,7 @@ class Ctx {
 
  private:
   Machine& m_;
+  EngineShard& sh_;  ///< the host thread's engine shard (stats, mailboxes)
   Lane& lane_;
   Message& msg_;
   Tick start_;

@@ -2,6 +2,8 @@
 // counters, and the combining cache in isolation.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "kvmsr/combining_cache.hpp"
 #include "kvmsr/kvmsr.hpp"
 
@@ -107,6 +109,71 @@ TEST_F(KvmsrEdge, RelaunchAfterCompletionResetsCounters) {
   const JobState& st2 = lib_->run_to_completion(app_->job, 0, 100);
   EXPECT_EQ(st2.runs, 2u);
   EXPECT_EQ(st2.total_emitted, 100u);  // not 200: counters reset per launch
+}
+
+TEST_F(KvmsrEdge, EmptyKeyRangeCompletesImmediately) {
+  make(2, {}, 10);
+  const JobState& st = lib_->run_to_completion(app_->job, 5, 5);
+  EXPECT_EQ(st.total_emitted, 0u);
+  for (std::uint64_t k = 0; k < 10; ++k) EXPECT_EQ(app_->map_runs[k], 0u);
+  EXPECT_TRUE(m_->idle());
+  // An empty launch leaves the job relaunchable — it completed normally.
+  const JobState& st2 = lib_->run_to_completion(app_->job, 0, 10);
+  EXPECT_EQ(st2.total_emitted, 10u);
+}
+
+TEST_F(KvmsrEdge, SingleKeyRange) {
+  for (MapBinding b : {MapBinding::kBlock, MapBinding::kPBMW}) {
+    JobSpec spec;
+    spec.map_binding = b;
+    make(2, spec, 100);
+    const JobState& st = lib_->run_to_completion(app_->job, 42, 43);
+    EXPECT_EQ(st.total_emitted, 1u);
+    for (std::uint64_t k = 0; k < 100; ++k)
+      EXPECT_EQ(app_->map_runs[k], k == 42 ? 1u : 0u) << "binding " << int(b);
+    EXPECT_NE(app_->reduce_ran_at[42], ~0u);
+  }
+}
+
+// All keys collide onto a single reduce key: the worst-case serialization the
+// paper's KVMSR section calls out. Every map emits key 0, so one reduce lane
+// must absorb every update, once per emission.
+struct CollideApp {
+  JobId job = 0;
+  std::uint64_t reduce_runs = 0;
+  std::set<NetworkId> reduce_lanes;
+};
+
+struct CollideMap : ThreadState {
+  void kv_map(Ctx& ctx) {
+    auto& lib = ctx.machine().service<Library>();
+    lib.emit(ctx, Library::map_job(ctx), /*key=*/0, Library::map_key(ctx));
+    lib.map_return(ctx, ctx.ccont());
+  }
+};
+
+struct CollideReduce : ThreadState {
+  void kv_reduce(Ctx& ctx) {
+    auto& lib = ctx.machine().service<Library>();
+    auto& app = ctx.machine().user<CollideApp>();
+    app.reduce_runs++;
+    app.reduce_lanes.insert(ctx.nwid());
+    lib.reduce_return(ctx, Library::reduce_job(ctx));
+  }
+};
+
+TEST(KvmsrCollide, AllKeysCollideOnOneReducer) {
+  Machine m(MachineConfig::scaled(2));
+  auto& lib = Library::install(m);
+  auto& app = m.emplace_user<CollideApp>();
+  JobSpec spec;
+  spec.kv_map = m.program().event("CollideMap::kv_map", &CollideMap::kv_map);
+  spec.kv_reduce = m.program().event("CollideReduce::kv_reduce", &CollideReduce::kv_reduce);
+  app.job = lib.add_job(spec);
+  const JobState& st = lib.run_to_completion(app.job, 0, 500);
+  EXPECT_EQ(st.total_emitted, 500u);
+  EXPECT_EQ(app.reduce_runs, 500u);
+  EXPECT_EQ(app.reduce_lanes.size(), 1u);  // one key → one owning lane
 }
 
 TEST_F(KvmsrEdge, LaunchWhileRunningThrows) {

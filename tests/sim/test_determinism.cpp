@@ -1,7 +1,16 @@
 // The simulator is deterministic: identical inputs produce identical event
 // orders, final ticks, and statistics — the property that makes the paper's
 // simulated timing results reproducible at all.
+//
+// With the host-parallel engine this hardens into a stronger claim, asserted
+// by the matrix below: the (tick, sending entity, sender seq) total order
+// makes every fingerprint bit-identical for ANY shard count, with and
+// without the udcheck subsystem (which force-sets shards=1), including the
+// drain/quiescence path each KVMSR round crosses.
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
 
 #include "apps/bfs.hpp"
 #include "apps/pagerank.hpp"
@@ -11,20 +20,90 @@
 namespace updown {
 namespace {
 
+/// Pin an environment variable for the scope of a test (and restore it
+/// after), so the shard matrix is immune to an ambient UD_SHARDS / UD_CHECK —
+/// CI runs the whole suite under UD_SHARDS=4.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_ = old != nullptr;
+    if (old) old_ = old;
+    if (value) ::setenv(name, value, 1);
+    else ::unsetenv(name);
+  }
+  ~EnvGuard() {
+    if (had_) ::setenv(name_.c_str(), old_.c_str(), 1);
+    else ::unsetenv(name_.c_str());
+  }
+
+ private:
+  std::string name_, old_;
+  bool had_ = false;
+};
+
 struct RunFingerprint {
   Tick done = 0;
-  std::uint64_t events = 0, messages = 0, dram = 0, threads = 0;
+  std::uint64_t events = 0, messages = 0, message_bytes = 0, cross_node = 0;
+  std::uint64_t dram_reads = 0, dram_writes = 0, dram_bytes = 0, remote_dram = 0;
+  std::uint64_t threads_created = 0, threads_destroyed = 0, charged = 0;
+  std::uint64_t result = 0;  ///< an application-level answer (ranks, triangles...)
   bool operator==(const RunFingerprint&) const = default;
 };
 
-RunFingerprint run_pr(std::uint32_t nodes) {
+RunFingerprint fingerprint(Machine& m, Tick done, std::uint64_t result) {
+  // Deliberately excludes the engine gauges (max_queue_depth,
+  // max_live_threads): those describe per-shard queues, not the simulation.
+  EXPECT_TRUE(m.idle());  // quiescent drain: nothing left in queues/mailboxes
+  const MachineStats& s = m.stats();
+  return {done,
+          s.events_executed,
+          s.messages_sent,
+          s.message_bytes,
+          s.cross_node_messages,
+          s.dram_reads,
+          s.dram_writes,
+          s.dram_bytes,
+          s.remote_dram_accesses,
+          s.threads_created,
+          s.threads_destroyed,
+          s.charged_cycles,
+          result};
+}
+
+RunFingerprint run_pr(std::uint32_t nodes, std::uint32_t shards = 1, bool check = false) {
+  EnvGuard g1("UD_SHARDS", std::to_string(shards).c_str());
+  EnvGuard g2("UD_CHECK", check ? "1" : "0");
   Machine m(MachineConfig::scaled(nodes));
   Graph g = rmat(9, {}, 77);
   SplitGraph sg = split_vertices(g, 32);
   DeviceGraph dg = upload_split_graph(m, sg);
   pr::Result r = pr::App::install(m, dg, sg, {.iterations = 2}).run();
-  return {r.done_tick, m.stats().events_executed, m.stats().messages_sent,
-          m.stats().dram_reads + m.stats().dram_writes, m.stats().threads_created};
+  if (!check && shards > 1) EXPECT_GT(m.engine_stats().windows, 0u);
+  return fingerprint(m, r.done_tick, r.edge_updates);
+}
+
+RunFingerprint run_bfs(std::uint32_t nodes, std::uint32_t shards = 1, bool check = false) {
+  EnvGuard g1("UD_SHARDS", std::to_string(shards).c_str());
+  EnvGuard g2("UD_CHECK", check ? "1" : "0");
+  Machine m(MachineConfig::scaled(nodes));
+  Graph g = rmat(9, {.symmetrize = true}, 13);
+  DeviceGraph dg = upload_graph(m, g);
+  bfs::Result r = bfs::App::install(m, dg, {.root = 1}).run();
+  // Each BFS round is one KVMSR invocation: rounds cross the drain path, so
+  // a multi-round run exercises quiescence detection under sharding.
+  EXPECT_GE(r.rounds, 2u);
+  return fingerprint(m, r.done_tick, r.traversed_edges);
+}
+
+RunFingerprint run_tc(std::uint32_t shards = 1) {
+  EnvGuard g1("UD_SHARDS", std::to_string(shards).c_str());
+  EnvGuard g2("UD_CHECK", "0");
+  Machine m(MachineConfig::scaled(2));
+  Graph g = rmat(8, {.symmetrize = true}, 5);
+  DeviceGraph dg = upload_graph(m, g);
+  tc::Result r = tc::App::install(m, dg, {}).run();
+  return fingerprint(m, r.done_tick, r.triangles);
 }
 
 TEST(Determinism, PageRankRunsAreBitIdentical) {
@@ -37,32 +116,70 @@ TEST(Determinism, DifferentMachinesDiffer) {
   EXPECT_NE(run_pr(1).done, run_pr(4).done);
 }
 
-RunFingerprint run_tc() {
-  Machine m(MachineConfig::scaled(2));
-  Graph g = rmat(8, {.symmetrize = true}, 5);
-  DeviceGraph dg = upload_graph(m, g);
-  tc::Result r = tc::App::install(m, dg, {}).run();
-  return {r.done_tick, m.stats().events_executed, m.stats().messages_sent,
-          m.stats().dram_reads, r.triangles};
-}
-
 TEST(Determinism, TriangleCountRunsAreBitIdentical) {
   EXPECT_EQ(run_tc(), run_tc());
 }
 
-// Golden fingerprints captured from the seed binary-heap event engine. The
-// calendar-queue engine must reproduce every count and tick exactly — any
-// drift here means the (tick, seq) total order changed, which silently
-// invalidates all simulated timing results. Update only with a side-by-side
-// run against the previous engine showing both produce the new numbers.
+// ---------------------------------------------------------------------------
+// The shard matrix: every fingerprint bit-identical across shards 1/2/4/8,
+// with and without UD_CHECK=1. An 8-node machine so all four shard counts
+// are distinct partitions (shards are clamped to the node count).
+// ---------------------------------------------------------------------------
+
+TEST(DeterminismMatrix, PageRankIdenticalAcrossShardCounts) {
+  const RunFingerprint serial = run_pr(8, 1);
+  for (std::uint32_t shards : {2u, 4u, 8u})
+    EXPECT_EQ(run_pr(8, shards), serial) << "shards=" << shards;
+}
+
+TEST(DeterminismMatrix, PageRankIdenticalUnderCheck) {
+  const RunFingerprint serial = run_pr(8, 1);
+  // The checker force-sets shards=1 (its side tables are engine-global); a
+  // checked run at any requested shard count must still match the serial
+  // fingerprint exactly — checking never perturbs the simulation.
+  EXPECT_EQ(run_pr(8, 1, /*check=*/true), serial);
+  EXPECT_EQ(run_pr(8, 4, /*check=*/true), serial);
+}
+
+TEST(DeterminismMatrix, BfsIdenticalAcrossShardCounts) {
+  const RunFingerprint serial = run_bfs(8, 1);
+  for (std::uint32_t shards : {2u, 4u, 8u})
+    EXPECT_EQ(run_bfs(8, shards), serial) << "shards=" << shards;
+}
+
+TEST(DeterminismMatrix, BfsIdenticalUnderCheck) {
+  const RunFingerprint serial = run_bfs(8, 1);
+  EXPECT_EQ(run_bfs(8, 1, /*check=*/true), serial);
+  EXPECT_EQ(run_bfs(8, 4, /*check=*/true), serial);
+}
+
+TEST(DeterminismMatrix, TriangleCountIdenticalAcrossShardCounts) {
+  const RunFingerprint serial = run_tc(1);
+  EXPECT_EQ(run_tc(2), serial);  // 2-node machine: 2 is the max useful count
+}
+
+// ---------------------------------------------------------------------------
+// Golden fingerprints. The host-parallel engine re-keyed the event order to
+// (tick, sending entity, sender seq) — sender-local, no global counter — and
+// split the bisection token bucket per source node (a per-node share of
+// bisection bandwidth, required for lock-free sharded routing). Both change
+// tie-breaks and cross-node queuing, so these goldens were regenerated from
+// the serial engine at that point; the sharded engine must reproduce them
+// exactly for every shard count (see the matrix above). Update only with a
+// side-by-side run against the previous engine showing both produce the new
+// numbers.
+// ---------------------------------------------------------------------------
+
 TEST(Determinism, PageRankGoldenCounts) {
+  EnvGuard g1("UD_SHARDS", nullptr);
+  EnvGuard g2("UD_CHECK", "0");
   Machine m(MachineConfig::scaled(4));
   Graph g = rmat(9, {}, 77);
   SplitGraph sg = split_vertices(g, 32);
   DeviceGraph dg = upload_split_graph(m, sg);
   pr::Result r = pr::App::install(m, dg, sg, {.iterations = 2}).run();
   const MachineStats& s = m.stats();
-  EXPECT_EQ(r.done_tick, 38512u);
+  EXPECT_EQ(r.done_tick, 37626u);
   EXPECT_EQ(s.events_executed, 27893u);
   EXPECT_EQ(s.messages_sent, 27893u);
   EXPECT_EQ(s.dram_reads, 7012u);
@@ -73,18 +190,20 @@ TEST(Determinism, PageRankGoldenCounts) {
 }
 
 TEST(Determinism, BfsGoldenCounts) {
+  EnvGuard g1("UD_SHARDS", nullptr);
+  EnvGuard g2("UD_CHECK", "0");
   Machine m(MachineConfig::scaled(4));
   Graph g = rmat(9, {.symmetrize = true}, 13);
   DeviceGraph dg = upload_graph(m, g);
   bfs::Result r = bfs::App::install(m, dg, {.root = 1}).run();
   const MachineStats& s = m.stats();
-  EXPECT_EQ(r.done_tick, 33029u);
-  EXPECT_EQ(s.events_executed, 16410u);
-  EXPECT_EQ(s.messages_sent, 16410u);
+  EXPECT_EQ(r.done_tick, 30025u);
+  EXPECT_EQ(s.events_executed, 16153u);
+  EXPECT_EQ(s.messages_sent, 16153u);
   EXPECT_EQ(s.dram_reads, 2098u);
   EXPECT_EQ(s.dram_writes, 918u);
-  EXPECT_EQ(s.threads_created, 11453u);
-  EXPECT_EQ(s.charged_cycles, 124138u);
+  EXPECT_EQ(s.threads_created, 11325u);
+  EXPECT_EQ(s.charged_cycles, 122984u);
   EXPECT_EQ(r.rounds, 4u);
   EXPECT_EQ(r.traversed_edges, 9514u);
 }

@@ -1,6 +1,7 @@
 // Unit tests for the discrete-event engine's data structures: the two-level
-// calendar queue (exact (tick, seq) total order, epoch crossing, far-heap
-// overflow) and the recycling slab pool (stable addresses, index reuse).
+// calendar queue (exact (tick, src, seq) total order, epoch crossing,
+// far-heap overflow) and the recycling slab pool (stable addresses, index
+// reuse).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -22,23 +23,49 @@ std::vector<QEntry> drain(CalendarEventQueue& q) {
 TEST(CalendarEventQueue, SameTickPopsInSeqOrder) {
   CalendarEventQueue q;
   // Push in scrambled seq order at one tick; FIFO (seq) order must come out.
-  for (std::uint64_t seq : {5u, 1u, 4u, 0u, 3u, 2u})
-    q.push(QEntry{100, seq, static_cast<std::uint32_t>(seq), 0});
+  for (std::uint32_t seq : {5u, 1u, 4u, 0u, 3u, 2u})
+    q.push(QEntry{100, 0, seq, seq, 0});
   const auto out = drain(q);
   ASSERT_EQ(out.size(), 6u);
-  for (std::uint64_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i].seq, i);
+  for (std::uint32_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i].seq, i);
+}
+
+TEST(CalendarEventQueue, SameTickOrdersBySrcThenSeq) {
+  CalendarEventQueue q;
+  // Entity ids break ties first, each entity's own counter second — the key
+  // property the sharded engine's determinism rests on.
+  q.push(QEntry{7, /*src=*/2, /*seq=*/0, 0, 0});
+  q.push(QEntry{7, /*src=*/0, /*seq=*/9, 1, 0});
+  q.push(QEntry{7, /*src=*/1, /*seq=*/4, 2, 0});
+  q.push(QEntry{7, /*src=*/0, /*seq=*/3, 3, 0});
+  q.push(QEntry{7, /*src=*/1, /*seq=*/5, 4, 0});
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> got;
+  for (const QEntry& e : drain(q)) got.emplace_back(e.src, e.seq);
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> want = {
+      {0, 3}, {0, 9}, {1, 4}, {1, 5}, {2, 0}};
+  EXPECT_EQ(got, want);
+}
+
+TEST(CalendarEventQueue, PeekTickMatchesPop) {
+  CalendarEventQueue q(/*bucket_width_log2=*/2, /*nbuckets_log2=*/3);
+  std::uint32_t seq = 0;
+  for (Tick t : {44u, 9u, 9u, 300u, 12u}) q.push(QEntry{t, 0, seq++, 0, 0});
+  while (!q.empty()) {
+    const Tick peeked = q.peek_tick();
+    EXPECT_EQ(q.pop().t, peeked);
+  }
 }
 
 TEST(CalendarEventQueue, MixedTicksTotalOrder) {
   CalendarEventQueue q;
-  q.push(QEntry{30, 0, 0, 0});
-  q.push(QEntry{10, 1, 1, 0});
-  q.push(QEntry{30, 2, 2, 1});
-  q.push(QEntry{20, 3, 3, 0});
-  q.push(QEntry{10, 4, 4, 1});
-  std::vector<std::pair<Tick, std::uint64_t>> got;
+  q.push(QEntry{30, 0, 0, 0, 0});
+  q.push(QEntry{10, 0, 1, 1, 0});
+  q.push(QEntry{30, 0, 2, 2, 1});
+  q.push(QEntry{20, 0, 3, 3, 0});
+  q.push(QEntry{10, 0, 4, 4, 1});
+  std::vector<std::pair<Tick, std::uint32_t>> got;
   for (const QEntry& e : drain(q)) got.emplace_back(e.t, e.seq);
-  const std::vector<std::pair<Tick, std::uint64_t>> want = {
+  const std::vector<std::pair<Tick, std::uint32_t>> want = {
       {10, 1}, {10, 4}, {20, 3}, {30, 0}, {30, 2}};
   EXPECT_EQ(got, want);
 }
@@ -47,11 +74,11 @@ TEST(CalendarEventQueue, PushIntoActiveBucketDuringDrain) {
   // The engine's common pattern: executing the event at tick t enqueues a new
   // event whose arrival lands in the bucket currently being drained.
   CalendarEventQueue q(/*bucket_width_log2=*/4, /*nbuckets_log2=*/4);
-  std::uint64_t seq = 0;
-  q.push(QEntry{16, seq++, 0, 0});
-  q.push(QEntry{18, seq++, 0, 0});
+  std::uint32_t seq = 0;
+  q.push(QEntry{16, 0, seq++, 0, 0});
+  q.push(QEntry{18, 0, seq++, 0, 0});
   EXPECT_EQ(q.pop().t, 16u);
-  q.push(QEntry{17, seq++, 0, 0});  // same 16-tick bucket, mid-drain
+  q.push(QEntry{17, 0, seq++, 0, 0});  // same 16-tick bucket, mid-drain
   EXPECT_EQ(q.pop().t, 17u);
   EXPECT_EQ(q.pop().t, 18u);
   EXPECT_TRUE(q.empty());
@@ -61,22 +88,22 @@ TEST(CalendarEventQueue, FarFutureOverflowsAndReturnsInOrder) {
   // 4 buckets x 2 ticks = an 8-tick window; anything further goes to the far
   // heap and must still pop in global order once the cursor advances.
   CalendarEventQueue q(/*bucket_width_log2=*/1, /*nbuckets_log2=*/2);
-  std::uint64_t seq = 0;
-  q.push(QEntry{2, seq++, 0, 0});
-  q.push(QEntry{1000, seq++, 0, 0});  // far
-  q.push(QEntry{5, seq++, 0, 0});
-  q.push(QEntry{500, seq++, 0, 0});   // far
-  q.push(QEntry{1000, seq++, 0, 0});  // far, same tick: seq tie-break
+  std::uint32_t seq = 0;
+  q.push(QEntry{2, 0, seq++, 0, 0});
+  q.push(QEntry{1000, 0, seq++, 0, 0});  // far
+  q.push(QEntry{5, 0, seq++, 0, 0});
+  q.push(QEntry{500, 0, seq++, 0, 0});   // far
+  q.push(QEntry{1000, 0, seq++, 0, 0});  // far, same tick: seq tie-break
   EXPECT_GE(q.stats().far_events, 3u);
 
   std::vector<Tick> ticks;
-  std::vector<std::uint64_t> seqs;
+  std::vector<std::uint32_t> seqs;
   for (const QEntry& e : drain(q)) {
     ticks.push_back(e.t);
     seqs.push_back(e.seq);
   }
   EXPECT_EQ(ticks, (std::vector<Tick>{2, 5, 500, 1000, 1000}));
-  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{0, 2, 3, 1, 4}));
+  EXPECT_EQ(seqs, (std::vector<std::uint32_t>{0, 2, 3, 1, 4}));
 }
 
 TEST(CalendarEventQueue, EpochCrossingInterleavedWithReference) {
@@ -86,14 +113,17 @@ TEST(CalendarEventQueue, EpochCrossingInterleavedWithReference) {
   // forces constant window wraps and far-heap traffic.
   CalendarEventQueue q(/*bucket_width_log2=*/2, /*nbuckets_log2=*/3);
   auto cmp = [](const QEntry& a, const QEntry& b) {
-    return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    if (a.t != b.t) return a.t > b.t;
+    if (a.src != b.src) return a.src > b.src;
+    return a.seq > b.seq;
   };
   std::priority_queue<QEntry, std::vector<QEntry>, decltype(cmp)> ref(cmp);
 
   Xoshiro256 rng(99);
-  std::uint64_t seq = 0;
+  std::uint32_t seq = 0;
   auto push_both = [&](Tick t) {
-    QEntry e{t, seq++, 0, 0};
+    // Spread pushes over a few source entities to exercise the src tie-break.
+    QEntry e{t, static_cast<std::uint32_t>(rng() % 5), seq++, 0, 0};
     q.push(e);
     ref.push(e);
   };
@@ -102,10 +132,12 @@ TEST(CalendarEventQueue, EpochCrossingInterleavedWithReference) {
   Tick now = 0;
   for (int step = 0; step < 20000; ++step) {
     ASSERT_FALSE(q.empty());
+    EXPECT_EQ(q.peek_tick(), ref.top().t);
     const QEntry got = q.pop();
     const QEntry want = ref.top();
     ref.pop();
     ASSERT_EQ(got.t, want.t) << "step " << step;
+    ASSERT_EQ(got.src, want.src) << "step " << step;
     ASSERT_EQ(got.seq, want.seq) << "step " << step;
     now = got.t;
     if (ref.size() < 64) {
@@ -124,11 +156,11 @@ TEST(CalendarEventQueue, EpochCrossingInterleavedWithReference) {
 
 TEST(CalendarEventQueue, PastDueEntriesFireImmediately) {
   CalendarEventQueue q(/*bucket_width_log2=*/2, /*nbuckets_log2=*/3);
-  std::uint64_t seq = 0;
-  q.push(QEntry{100, seq++, 0, 0});
+  std::uint32_t seq = 0;
+  q.push(QEntry{100, 0, seq++, 0, 0});
   EXPECT_EQ(q.pop().t, 100u);  // cursor is now at tick-100's bucket
-  q.push(QEntry{40, seq++, 0, 0});  // in the past: clamped, pops next
-  q.push(QEntry{101, seq++, 0, 0});
+  q.push(QEntry{40, 0, seq++, 0, 0});  // in the past: clamped, pops next
+  q.push(QEntry{101, 0, seq++, 0, 0});
   EXPECT_EQ(q.pop().seq, 1u);
   EXPECT_EQ(q.pop().t, 101u);
 }
