@@ -73,4 +73,85 @@ inline std::vector<double> speedups(const std::vector<Tick>& durations) {
   return out;
 }
 
+/// Tiny streaming writer for the BENCH_*.json artifacts (the idiom micro_sim
+/// hand-rolled, shared so every bench emits machine-readable results). No
+/// escaping or validation: keys and string values are trusted literals from
+/// the bench code itself. All calls no-op if the file failed to open; check
+/// ok() once and report.
+class Json {
+ public:
+  explicit Json(const std::string& path) : path_(path), f_(std::fopen(path.c_str(), "w")) {
+    if (f_) {
+      std::fputc('{', f_);
+      push('}');
+    }
+  }
+  ~Json() { close(); }
+  Json(const Json&) = delete;
+  Json& operator=(const Json&) = delete;
+
+  bool ok() const { return f_ != nullptr; }
+
+  void u64(const char* key, std::uint64_t v) {
+    item(key);
+    if (f_) std::fprintf(f_, "%llu", static_cast<unsigned long long>(v));
+  }
+  void num(const char* key, double v) {
+    item(key);
+    if (f_) std::fprintf(f_, "%.6g", v);
+  }
+  void str(const char* key, const std::string& v) {
+    item(key);
+    if (f_) std::fprintf(f_, "\"%s\"", v.c_str());
+  }
+  void boolean(const char* key, bool v) {
+    item(key);
+    if (f_) std::fputs(v ? "true" : "false", f_);
+  }
+  void begin_array(const char* key) {
+    item(key);
+    if (f_) std::fputc('[', f_);
+    push(']');
+  }
+  /// Array elements pass key=nullptr (no name inside an array).
+  void begin_object(const char* key = nullptr) {
+    item(key);
+    if (f_) std::fputc('{', f_);
+    push('}');
+  }
+  void end() {  // close the innermost open array/object
+    if (!f_ || closers_.empty()) return;
+    std::fprintf(f_, "\n%c", closers_.back());
+    closers_.pop_back();
+    firsts_.pop_back();
+  }
+  /// Closes every open scope and the file; prints the artifact name once.
+  void close() {
+    if (!f_) return;
+    while (!closers_.empty()) end();
+    std::fputc('\n', f_);
+    std::fclose(f_);
+    f_ = nullptr;
+    std::printf("wrote %s\n", path_.c_str());
+  }
+
+ private:
+  void push(char closer) {
+    closers_.push_back(closer);
+    firsts_.push_back(true);
+  }
+  void item(const char* key) {
+    if (!f_) return;
+    if (!firsts_.back()) std::fputc(',', f_);
+    firsts_.back() = false;
+    std::fputc('\n', f_);
+    if (key) std::fprintf(f_, "\"%s\": ", key);
+  }
+
+  std::string path_;
+  std::FILE* f_ = nullptr;
+  std::vector<char> closers_;
+  std::vector<bool> firsts_;
+};
+
 }  // namespace updown::bench

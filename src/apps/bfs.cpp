@@ -152,6 +152,9 @@ struct BfsExpand : ThreadState {
     }
     loaded += ctx.nops();
     if (loaded == degree) {
+      // This explorer is the only emitter the runtime sees retire on this
+      // lane; ship its partial buffers now instead of at the next poll.
+      app.lib_->flush_hint(ctx, static_cast<kvmsr::JobId>(job));
       ctx.send_event(done_cont, {});
       ctx.yield_terminate();
     }
@@ -194,6 +197,7 @@ struct BfsExpandChunk : ThreadState {
     }
     loaded += ctx.nops();
     if (loaded == len) {
+      app.lib_->flush_hint(ctx, static_cast<kvmsr::JobId>(job));
       ctx.send_event(done_cont, {});
       ctx.yield_terminate();
     }

@@ -225,6 +225,10 @@ App::App(Machine& m, const DeviceGraph& dg, const SplitGraph& sg, const Options&
   prop.kv_reduce = p.event("pr::kv_reduce", &PrReduce::kv_reduce);
   prop.flush = cc_->flush_label();
   prop.map_binding = opt.map_binding;
+  prop.coalesce_tuples = opt.coalesce_tuples;
+  // Contributions to one accumulator slot are order-insensitive f64 sums up
+  // to rounding; combining only activates when the job coalesces.
+  prop.combiner = kvmsr::Combiner::kSumF64;
   prop.name = "pr.propagate";
   propagate_job_ = lib_->add_job(prop);
 

@@ -33,6 +33,13 @@ struct Options {
   double damping = 0.85;
   /// Computation binding for the propagate map phase (Block default).
   kvmsr::MapBinding map_binding = kvmsr::MapBinding::kBlock;
+  /// Shuffle coalescing factor for the propagate job (1 = off; see
+  /// kvmsr::JobSpec::coalesce_tuples, overridable via UD_COALESCE). The
+  /// propagate job declares kSumF64 map-side combining, so whenever the job
+  /// coalesces, same-slot contributions sharing a source lane merge in the
+  /// emit buffer; ranks then differ from the uncoalesced run only by f64
+  /// summation order.
+  std::uint32_t coalesce_tuples = 1;
   /// Placement of the rank/accumulator value arrays.
   GraphPlacement value_placement{};
 };
@@ -41,7 +48,10 @@ struct Result {
   std::vector<double> rank;  ///< per original vertex
   Tick start_tick = 0;
   Tick done_tick = 0;
-  std::uint64_t edge_updates = 0;  ///< total emitted tuples over all iterations
+  /// Total emitted tuples over all iterations. With map-side combining this
+  /// counts post-combine tuples (reduce tasks), not raw edge traversals, so
+  /// gups() is not comparable between combining-on and combining-off runs.
+  std::uint64_t edge_updates = 0;
   unsigned iterations = 0;
 
   Tick duration() const { return done_tick - start_tick; }

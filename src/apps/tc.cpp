@@ -172,6 +172,7 @@ App::App(Machine& m, const DeviceGraph& dg, const Options& opt)
   spec.kv_reduce = p.event("tc::kv_reduce", &TcReduce::kv_reduce);
   spec.flush = cc_->flush_label();
   spec.map_binding = opt.map_binding;
+  spec.coalesce_tuples = opt.coalesce_tuples;  // combiner stays kNone: pair keys are unique
   spec.name = "tc";
   job_ = lib_->add_job(spec);
 }

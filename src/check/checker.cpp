@@ -572,6 +572,20 @@ void Checker::on_sync_acquire(NetworkId lane, std::uint64_t slot) {
   if (merge_vc(l.vc, it->second, origin_stamp_.lt)) l.snap.reset();
 }
 
+void Checker::push_origin() {
+  origin_stack_.push_back(
+      SavedOrigin{origin_, origin_stamp_, origin_snap_, origin_cont_pending_});
+}
+
+void Checker::pop_origin() {
+  const SavedOrigin& s = origin_stack_.back();
+  origin_ = s.origin;
+  origin_stamp_ = s.stamp;
+  origin_snap_ = s.snap;
+  origin_cont_pending_ = s.cont_pending;
+  origin_stack_.pop_back();
+}
+
 void Checker::check_access(ShadowCell& cell, const Stamp& cur, const VC& vc,
                            bool is_write, bool is_sp, Addr va) {
   const auto racy = [&](const Stamp& prev) {

@@ -139,6 +139,14 @@ class Checker final : public MemoryObserver {
   void on_sync_release(NetworkId lane, std::uint64_t slot);
   void on_sync_acquire(NetworkId lane, std::uint64_t slot);
 
+  /// Save / restore the scoped message origin around an inline delivery
+  /// (Machine::deliver_inline): the nested task's begin/end hooks overwrite
+  /// the origin, and the caller's later sends must stamp with the caller's
+  /// clock again. Push before the nested on_route_message, pop after the
+  /// nested on_task_end. Nesting depth follows the inline call depth.
+  void push_origin();
+  void pop_origin();
+
   // ---- MemoryObserver (allocation lifecycle) ------------------------------
   void on_alloc(const SwizzleDescriptor& d) override;
   void on_free(const SwizzleDescriptor& d, std::uint64_t free_seq) override;
@@ -273,6 +281,16 @@ class Checker final : public MemoryObserver {
   Stamp origin_stamp_;       ///< valid for kTask (current task's lifetime)
   Snapshot origin_snap_;     ///< valid for kDramReply
   bool origin_cont_pending_ = false;  ///< valid for kDramReply
+
+  /// Saved origins for nested inline deliveries (Machine::deliver_inline).
+  /// Stamp carries no refcount, so a plain copy is a valid save.
+  struct SavedOrigin {
+    Origin origin;
+    Stamp stamp;
+    Snapshot snap;
+    bool cont_pending;
+  };
+  std::vector<SavedOrigin> origin_stack_;
 
   std::vector<MsgMeta> msg_meta_;
   std::vector<DramMeta> dram_meta_;

@@ -12,6 +12,14 @@
 // (bw_bisection_per_node). Source-keyed state is what lets the sharded engine
 // (sim/machine.cpp) call arrival() concurrently from the shard that owns the
 // sending node without locks and without any cross-shard ordering dependence.
+//
+// Bucket arithmetic is integer fixed-point in 1/256-cycle units: next-free
+// times accumulate thousands of per-message charges over a run, and a double
+// accumulator makes the final ceil() depend on the platform's FP contraction
+// and libm — the determinism goldens must be reproducible across compilers.
+// Per-message cost is ceil(bytes * 256 / bw) fixed-point units with the
+// bandwidths rounded to integer bytes/cycle (all shipped configs are
+// integral), so every arrival() is exact integer math.
 #pragma once
 
 #include <algorithm>
@@ -30,8 +38,10 @@ class NetworkModel {
       : cfg_(cfg),
         lpn_div_(cfg.lanes_per_node()),
         lpa_div_(cfg.lanes_per_accel),
-        inject_free_(cfg.nodes, 0.0),
-        bisection_free_(cfg.nodes, 0.0) {
+        inject_bw_(std::max<std::uint64_t>(1, std::llround(cfg.bw_inject_node))),
+        bisection_bw_(std::max<std::uint64_t>(1, std::llround(cfg.bw_bisection_per_node))),
+        inject_free_(cfg.nodes, 0),
+        bisection_free_(cfg.nodes, 0) {
     // Pick group shifts so that nodes are split into ~cube-root-sized tiers:
     // same L1 group => 1 hop, same L2 group => 2 hops, else 3 hops.
     const unsigned bits = cfg.nodes > 1 ? log2_exact(next_pow2(cfg.nodes)) : 0;
@@ -65,33 +75,43 @@ class NetworkModel {
       return depart + (accel_s == accel_d ? cfg_.lat_intra_accel : cfg_.lat_intra_node);
     }
     // Cross-node: injection token bucket at the source node, optional
-    // bisection bucket, then per-hop latency.
-    double t = static_cast<double>(depart);
-    double& inj = inject_free_[node_s];
-    const double inj_start = std::max(t, inj);
-    inj = inj_start + bytes / cfg_.bw_inject_node;
+    // bisection bucket, then per-hop latency. Fixed-point 1/256-cycle units
+    // throughout — see the header comment.
+    std::uint64_t t = static_cast<std::uint64_t>(depart) << kFpShift;
+    std::uint64_t& inj = inject_free_[node_s];
+    inj = std::max(t, inj) + fp_cost(bytes, inject_bw_);
     t = inj;
     if (crosses_bisection(node_s, node_d)) {
-      double& bis = bisection_free_[node_s];
-      const double start = std::max(t, bis);
-      bis = start + bytes / cfg_.bw_bisection_per_node;
+      std::uint64_t& bis = bisection_free_[node_s];
+      bis = std::max(t, bis) + fp_cost(bytes, bisection_bw_);
       t = bis;
     }
     const Tick lat = cfg_.lat_intra_node + cfg_.lat_hop * hops(node_s, node_d);
-    return static_cast<Tick>(std::ceil(t)) + lat;
+    return static_cast<Tick>((t + kFpOne - 1) >> kFpShift) + lat;
   }
 
   void reset() {
-    std::fill(inject_free_.begin(), inject_free_.end(), 0.0);
-    std::fill(bisection_free_.begin(), bisection_free_.end(), 0.0);
+    std::fill(inject_free_.begin(), inject_free_.end(), 0);
+    std::fill(bisection_free_.begin(), bisection_free_.end(), 0);
   }
 
  private:
+  static constexpr unsigned kFpShift = 8;  ///< 1/256-cycle fixed-point units
+  static constexpr std::uint64_t kFpOne = 1ull << kFpShift;
+
+  /// Bucket charge of `bytes` at `bw` bytes/cycle, rounded up to a fixed-point
+  /// unit (never undercharges the link).
+  static std::uint64_t fp_cost(std::uint64_t bytes, std::uint64_t bw) {
+    return ((bytes << kFpShift) + bw - 1) / bw;
+  }
+
   const MachineConfig& cfg_;
   FastDiv lpn_div_;  ///< by lanes_per_node(): node of a global lane id
   FastDiv lpa_div_;  ///< by lanes_per_accel: accelerator of a global lane id
-  std::vector<double> inject_free_;  ///< per-node injection next-free time
-  std::vector<double> bisection_free_;  ///< per-src-node bisection-share next-free time
+  std::uint64_t inject_bw_;     ///< integer bytes/cycle (rounded from config)
+  std::uint64_t bisection_bw_;  ///< integer bytes/cycle per-node share
+  std::vector<std::uint64_t> inject_free_;  ///< per-node injection next-free time (fp)
+  std::vector<std::uint64_t> bisection_free_;  ///< per-src-node bisection next-free (fp)
   unsigned l1_shift_ = 0, l2_shift_ = 1;
 };
 

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <vector>
 
 #include "common/types.hpp"
@@ -54,6 +55,40 @@ struct CheckSummary {
   bool clean() const { return errors() == 0; }
 };
 
+/// KVMSR shuffle-phase traffic counters, kept separately from the machine
+/// totals so figures and tests can split map/control traffic from the
+/// shuffle without re-deriving counts. `tuples_emitted` counts emit()/emit2()
+/// calls; `tuples_combined` of those merged map-side (equal keys under a job
+/// combiner) and never touched the wire; the rest became reduce tasks, either
+/// as single per-tuple messages or packed `coalesced_packets`. All counters
+/// accumulate whether or not coalescing is on, so the per-phase summary is
+/// meaningful for baseline runs too.
+struct ShuffleStats {
+  std::uint64_t tuples_emitted = 0;    ///< emit()/emit2() calls
+  std::uint64_t tuples_combined = 0;   ///< merged map-side, never sent
+  std::uint64_t messages = 0;          ///< shuffle wire messages (singles + packets)
+  std::uint64_t coalesced_packets = 0; ///< of `messages`, packed multi-tuple sends
+  std::uint64_t bytes = 0;             ///< shuffle wire bytes (header + payload)
+  std::uint64_t cross_node_messages = 0;
+
+  /// Tuples that crossed the wire (emitted minus map-side-combined).
+  std::uint64_t tuples_delivered() const { return tuples_emitted - tuples_combined; }
+  /// Achieved tuples-per-message: 1.0 without coalescing.
+  double coalescing_factor() const {
+    return messages ? static_cast<double>(tuples_delivered()) / static_cast<double>(messages)
+                    : 0.0;
+  }
+
+  void merge(const ShuffleStats& s) {
+    tuples_emitted += s.tuples_emitted;
+    tuples_combined += s.tuples_combined;
+    messages += s.messages;
+    coalesced_packets += s.coalesced_packets;
+    bytes += s.bytes;
+    cross_node_messages += s.cross_node_messages;
+  }
+};
+
 struct MachineStats {
   std::uint64_t events_executed = 0;
   std::uint64_t charged_cycles = 0;  ///< total lane-busy cycles across the run
@@ -68,6 +103,7 @@ struct MachineStats {
   std::uint64_t threads_destroyed = 0;
   std::uint64_t max_live_threads = 0;
   std::uint64_t max_queue_depth = 0;  ///< peak pending events in the calendar queue
+  ShuffleStats shuffle;  ///< KVMSR shuffle traffic split (zero outside KVMSR jobs)
   CheckSummary check;  ///< udcheck results (all-zero when UD_CHECK is off)
 
   void reset() { *this = MachineStats{}; }
@@ -92,6 +128,36 @@ struct MachineStats {
     threads_destroyed += s.threads_destroyed;
     max_live_threads = std::max(max_live_threads, s.max_live_threads);
     max_queue_depth = std::max(max_queue_depth, s.max_queue_depth);
+    shuffle.merge(s.shuffle);
+  }
+
+  /// Per-phase traffic summary: the shuffle split vs everything else (map
+  /// fan-out, control, DRAM replies). Benches print this so figures and CI
+  /// can assert on shuffle message counts directly.
+  void print_traffic_summary(std::FILE* f = stdout) const {
+    const std::uint64_t other_msgs = messages_sent - shuffle.messages;
+    const std::uint64_t other_bytes = message_bytes - shuffle.bytes;
+    std::fprintf(f, "--- traffic summary ---\n");
+    std::fprintf(f, "%-28s %12llu msgs %14llu bytes (%llu cross-node)\n", "total",
+                 static_cast<unsigned long long>(messages_sent),
+                 static_cast<unsigned long long>(message_bytes),
+                 static_cast<unsigned long long>(cross_node_messages));
+    std::fprintf(f, "%-28s %12llu msgs %14llu bytes (%llu cross-node)\n",
+                 "shuffle (kvmsr emit)",
+                 static_cast<unsigned long long>(shuffle.messages),
+                 static_cast<unsigned long long>(shuffle.bytes),
+                 static_cast<unsigned long long>(shuffle.cross_node_messages));
+    std::fprintf(f, "%-28s %12llu msgs %14llu bytes\n", "map/control/replies",
+                 static_cast<unsigned long long>(other_msgs),
+                 static_cast<unsigned long long>(other_bytes));
+    std::fprintf(f,
+                 "%-28s %12llu emitted, %llu combined map-side, %llu packets, "
+                 "coalescing factor %.2f\n",
+                 "shuffle tuples",
+                 static_cast<unsigned long long>(shuffle.tuples_emitted),
+                 static_cast<unsigned long long>(shuffle.tuples_combined),
+                 static_cast<unsigned long long>(shuffle.coalesced_packets),
+                 shuffle.coalescing_factor());
   }
 };
 

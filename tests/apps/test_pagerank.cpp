@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "baseline/baseline.hpp"
 #include "graph/generators.hpp"
 
@@ -27,7 +29,16 @@ void expect_matches_oracle(const Graph& g, std::uint32_t nodes, std::uint64_t ma
   for (VertexId v = 0; v < g.num_vertices(); ++v)
     EXPECT_NEAR(r.rank[v], oracle[v], 1e-9) << "vertex " << v;
   EXPECT_GT(r.done_tick, r.start_tick);
-  EXPECT_EQ(r.edge_updates, g.num_edges() * iterations);
+  // Map-side combining (active when UD_COALESCE > 1 is in the environment)
+  // merges same-slot contributions pre-shuffle, so emitted tuples can drop
+  // below one per edge traversal; ranks above stay oracle-exact either way.
+  const char* uc = std::getenv("UD_COALESCE");
+  if (uc != nullptr && std::strtoul(uc, nullptr, 10) > 1) {
+    EXPECT_LE(r.edge_updates, g.num_edges() * iterations);
+    EXPECT_GT(r.edge_updates, 0u);
+  } else {
+    EXPECT_EQ(r.edge_updates, g.num_edges() * iterations);
+  }
 }
 
 TEST(PageRank, MatchesOracleOnRmat) {

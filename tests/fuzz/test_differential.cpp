@@ -149,12 +149,36 @@ void fuzz_bucket_sort(Xoshiro256& rng) {
   ASSERT_EQ(sim_sorted, data);
 }
 
+/// Scoped UD_COALESCE pin: the shuffle-coalescing factor is itself a fuzzed
+/// dimension (apps read it at job creation), restored after each case so the
+/// ambient environment never leaks between cases.
+class CoalesceGuard {
+ public:
+  explicit CoalesceGuard(std::uint32_t factor) {
+    const char* old = std::getenv("UD_COALESCE");
+    had_ = old != nullptr;
+    if (old) old_ = old;
+    ::setenv("UD_COALESCE", std::to_string(factor).c_str(), 1);
+  }
+  ~CoalesceGuard() {
+    if (had_) ::setenv("UD_COALESCE", old_.c_str(), 1);
+    else ::unsetenv("UD_COALESCE");
+  }
+
+ private:
+  std::string old_;
+  bool had_ = false;
+};
+
 /// Run the one case identified by `case_seed`: the seed picks the app and
 /// every input dimension. Keeping the whole derivation inside one function
 /// is what makes the single-seed replay exact.
 void run_case(std::uint64_t case_seed) {
   SCOPED_TRACE(repro(case_seed));
   Xoshiro256 rng(case_seed);
+  // Half the cases run the classic shuffle, half a coalesced one.
+  static constexpr std::uint32_t kCoalesce[] = {1, 1, 1, 4, 16, 64};
+  CoalesceGuard coalesce(kCoalesce[rng.below(6)]);
   switch (rng.below(4)) {
     case 0: fuzz_pagerank(rng); break;
     case 1: fuzz_bfs(rng); break;
