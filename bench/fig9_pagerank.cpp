@@ -13,11 +13,15 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "apps/pagerank.hpp"
 #include "baseline/baseline.hpp"
 #include "bench/bench_util.hpp"
 #include "graph/generators.hpp"
+#include "trace/trace.hpp"
 
 using namespace updown;
 
@@ -93,15 +97,29 @@ int main() {
   struct CoalesceRun {
     Tick duration = 0;
     MachineStats stats;
+    std::string trace_path;
+    Tick trace_slice = 0;
+    std::vector<double> imbalance;  // per-slice peak/mean lane busy (udtrace)
   };
   auto run_coalesced = [&](std::uint32_t coalesce) {
-    Machine m(MachineConfig::scaled_netbound(big));
+    MachineConfig cfg = MachineConfig::scaled_netbound(big);
+    // Each side also records a udtrace timeline so the phase structure and
+    // lane imbalance behind the headline cycle counts can be inspected in
+    // Perfetto. UD_TRACE, if set, overrides this path for both runs.
+    cfg.trace = "TRACE_fig9_pr_c" + std::to_string(coalesce) + ".json";
+    Machine m(cfg);
     DeviceGraph dg = upload_split_graph(m, sg);
     pr::Options opt;
     opt.iterations = iterations;
     opt.coalesce_tuples = coalesce;
     pr::Result r = pr::App::install(m, dg, sg, opt).run();
-    return CoalesceRun{r.duration(), m.stats()};
+    CoalesceRun out{r.duration(), m.stats()};
+    if (const Tracer* t = m.tracer()) {
+      out.trace_path = t->path();
+      out.trace_slice = t->slice();
+      out.imbalance = t->imbalance_series();
+    }
+    return out;
   };
   std::printf("\n=== shuffle coalescing, RMAT-s15-ef64 (m=%llu) at %u nodes "
               "(%u lanes, paper per-lane net bandwidth) ===\n",
@@ -130,6 +148,27 @@ int main() {
               (unsigned long long)on.stats.shuffle.cross_node_messages, msg_ratio,
               (unsigned long long)off.duration, (unsigned long long)on.duration,
               cycle_gain);
+  auto imbalance_summary = [](const CoalesceRun& r) {
+    double mean = 0.0, peak = 0.0;
+    std::uint64_t active = 0;
+    for (double x : r.imbalance) {
+      if (x <= 0.0) continue;  // empty slices carry no load to balance
+      mean += x;
+      if (x > peak) peak = x;
+      ++active;
+    }
+    if (active) mean /= static_cast<double>(active);
+    return std::pair<double, double>{mean, peak};
+  };
+  for (const auto* r : {&off, &on}) {
+    if (r->trace_path.empty()) continue;
+    const auto [mean_imb, peak_imb] = imbalance_summary(*r);
+    std::printf("coalesce=%d udtrace: %s (slice %llu cycles, %zu slices, "
+                "lane imbalance mean %.2f peak %.2f)\n",
+                r == &off ? 1 : 16, r->trace_path.c_str(),
+                (unsigned long long)r->trace_slice, r->imbalance.size(), mean_imb,
+                peak_imb);
+  }
 
   {
     bench::Json json("BENCH_fig9_coalesce.json");
@@ -149,6 +188,14 @@ int main() {
       json.u64("tuples_emitted", r->stats.shuffle.tuples_emitted);
       json.u64("tuples_combined", r->stats.shuffle.tuples_combined);
       json.num("coalescing_factor", r->stats.shuffle.coalescing_factor());
+      if (!r->trace_path.empty()) {
+        const auto [mean_imb, peak_imb] = imbalance_summary(*r);
+        json.str("trace_file", r->trace_path);
+        json.u64("trace_slice_cycles", r->trace_slice);
+        json.u64("trace_slices", r->imbalance.size());
+        json.num("lane_imbalance_mean", mean_imb);
+        json.num("lane_imbalance_peak", peak_imb);
+      }
       json.end();
     }
     json.end();

@@ -257,6 +257,7 @@ struct BfsDriver : ThreadState {
 
   void d_round_done(Ctx& ctx) {
     auto& app = ctx.machine().user<App>();
+    ctx.trace_phase_end("bfs.round");
     app.traversed_edges_ += ctx.op(0);
     app.rounds_++;
     ctx.log("[bfs] [Itera %llu]: add queue %llu traversed edges %llu",
@@ -282,6 +283,8 @@ struct BfsDriver : ThreadState {
  private:
   void launch_round(Ctx& ctx) {
     auto& app = ctx.machine().user<App>();
+    // udtrace superstep span: one "bfs.round" per frontier expansion.
+    ctx.trace_phase_begin("bfs.round");
     const std::uint64_t accels =
         static_cast<std::uint64_t>(ctx.machine().config().nodes) *
         ctx.machine().config().accels_per_node;

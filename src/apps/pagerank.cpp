@@ -158,6 +158,7 @@ struct PrDriver : ThreadState {
 
   void d_apply_done(Ctx& ctx) {
     auto& app = ctx.machine().user<App>();
+    ctx.trace_phase_end("pr.iteration");
     if (++iter < app.opt_.iterations) {
       launch_propagate(ctx);
     } else {
@@ -172,6 +173,9 @@ struct PrDriver : ThreadState {
  private:
   void launch_propagate(Ctx& ctx) {
     auto& app = ctx.machine().user<App>();
+    // udtrace superstep span: one "pr.iteration" covering propagate + apply,
+    // nesting the two KVMSR jobs' own phase spans on the driver lane.
+    ctx.trace_phase_begin("pr.iteration");
     app.lib_->launch(ctx, app.propagate_job_, 0, app.dg_.num_vertices,
                      ctx.evw_update_event(ctx.cevnt(), app.lb_.d_prop_done));
   }

@@ -1,8 +1,9 @@
 #include "kvmsr/kvmsr.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 #include <cstring>
+
+#include "common/env.hpp"
 
 namespace updown::kvmsr {
 
@@ -25,15 +26,14 @@ constexpr std::uint64_t buf_slot(JobId job, NetworkId dst) {
   return (1ull << 31) | (static_cast<std::uint64_t>(job) << 20) | dst;
 }
 
-/// JobSpec::coalesce_tuples with the UD_COALESCE override applied.
+/// JobSpec::coalesce_tuples with the UD_COALESCE override applied. Strict
+/// parse: trailing garbage, a negative value, or a factor beyond the
+/// bulk-message capacity (kMaxBulkWords) throws std::invalid_argument at
+/// add_job time instead of being silently truncated or wrapped; "0", empty,
+/// and unset keep the job's configured factor.
 std::uint32_t resolved_coalesce(const JobSpec& spec) {
-  std::uint32_t c = spec.coalesce_tuples;
-  if (const char* s = std::getenv("UD_COALESCE"); s != nullptr && *s != '\0') {
-    char* end = nullptr;
-    const unsigned long v = std::strtoul(s, &end, 10);
-    if (end != nullptr && *end == '\0' && v > 0)
-      c = static_cast<std::uint32_t>(std::min<unsigned long>(v, kMaxBulkWords));
-  }
+  const std::uint32_t c = static_cast<std::uint32_t>(
+      env_u64("UD_COALESCE", spec.coalesce_tuples, kMaxBulkWords));
   return std::max<std::uint32_t>(1, c);
 }
 
@@ -352,6 +352,11 @@ void MasterThread::m_start(Ctx& ctx) {
   std::fill(j.emitted_by_lane.begin(), j.emitted_by_lane.end(), 0);
   std::fill(j.received_by_lane.begin(), j.received_by_lane.end(), 0);
 
+  // udtrace spans live on the master lane: map from launch to the map
+  // barrier, then shuffle-drain, then flush — the paper's phase anatomy.
+  // Name construction is guarded so the trace-off path stays zero-cost.
+  if (ctx.machine().tracer()) ctx.trace_phase_begin(j.spec.name + ":map");
+
   const LaneSet s = lib.resolved_lanes(j);
 
   switch (j.spec.map_binding) {
@@ -410,6 +415,10 @@ void MasterThread::map_phase_complete(Ctx& ctx) {
   Library& lib = ctx.machine().service<Library>();
   Library::Job& j = lib.jobs_.at(job);
   j.state.map_done_tick = ctx.now();
+  if (ctx.machine().tracer()) {
+    ctx.trace_phase_end(j.spec.name + ":map");
+    if (j.spec.kv_reduce != 0) ctx.trace_phase_begin(j.spec.name + ":drain");
+  }
   if (j.spec.kv_reduce != 0)
     start_poll_round(ctx);
   else if (j.spec.flush != 0)
@@ -441,6 +450,7 @@ void MasterThread::m_poll_reply(Ctx& ctx) {
   if (++poll_replies < s.count) return;
   if (poll_emitted == poll_received) {
     j.state.total_emitted = poll_emitted;
+    if (ctx.machine().tracer()) ctx.trace_phase_end(j.spec.name + ":drain");
     if (j.spec.flush != 0)
       start_flush(ctx);
     else
@@ -463,6 +473,7 @@ void MasterThread::start_flush(Ctx& ctx) {
   Library::Job& j = lib.jobs_.at(job);
   const LaneSet s = lib.resolved_lanes(j);
   flush_replies = 0;
+  if (ctx.machine().tracer()) ctx.trace_phase_begin(j.spec.name + ":flush");
   for (std::uint32_t i = 0; i < s.count; ++i) {
     ctx.charge(1);
     ctx.send_event(ctx.evw_new(s.first + i, j.spec.flush), {job},
@@ -481,6 +492,8 @@ void MasterThread::finish(Ctx& ctx) {
   Library::Job& j = lib.jobs_.at(job);
   j.state.done_tick = ctx.now();
   j.state.running = false;
+  if (j.spec.flush != 0 && ctx.machine().tracer())
+    ctx.trace_phase_end(j.spec.name + ":flush");
   if (cont != IGNRCONT) ctx.send_event(cont, {j.state.total_emitted});
   ctx.yield_terminate();
 }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/bits.hpp"
 #include "common/types.hpp"
@@ -44,6 +45,18 @@ struct MachineConfig {
   // ("0" or empty = off, anything else = on), mirroring the UDSIM_LOG pattern.
   bool check = false;           ///< enable the udcheck analysis subsystem
   bool check_sp_strict = false; ///< also flag HB-concurrent scratchpad access
+
+  // ---- Tracing (src/trace/) -------------------------------------------------
+  // udtrace: opt-in timeline/profiling layer. `trace` names the output file
+  // (Chrome trace_event JSON, plus a `<trace>.csv` sibling); empty = off. The
+  // UD_TRACE environment variable, when set and non-empty, overrides the
+  // path. Zero cost when off (one null test per hook site, the UDSIM_LOG /
+  // UD_CHECK pattern), and observation-only when on: simulated timing, event
+  // order, and all pinned goldens are unchanged.
+  std::string trace;
+  /// Width in ticks of the timeline buckets (busy/traffic/queue series).
+  /// UD_TRACE_SLICE overrides (strict parse; 0 keeps this default).
+  Tick trace_slice = 1024;
 
   // ---- Host-parallel execution ---------------------------------------------
   // Number of host threads the event engine shards across (UD_SHARDS env

@@ -49,11 +49,23 @@ class SlabPool {
     const std::uint32_t idx = free_.back();
     free_.pop_back();
     ++live_;
+#ifndef NDEBUG
+    freed_[idx] = false;
+#endif
     return idx;
   }
 
+  // A double or out-of-range release would plant a duplicate/bogus index in
+  // the free list, and the corruption only surfaces much later as two live
+  // payloads sharing a slot. Debug builds keep a freed-bitmap so the bad
+  // release itself asserts; release builds stay at zero overhead.
   void release(std::uint32_t idx) {
     assert(live_ > 0);
+    assert(idx < capacity() && "SlabPool::release: index out of range");
+    assert(!freed_[idx] && "SlabPool::release: double release");
+#ifndef NDEBUG
+    freed_[idx] = true;
+#endif
     free_.push_back(idx);
     --live_;
   }
@@ -77,11 +89,17 @@ class SlabPool {
     free_.reserve(free_.size() + kSlabSize);
     // Push in reverse so fresh slabs hand out ascending indices.
     for (std::uint32_t i = kSlabSize; i-- > 0;) free_.push_back(base + i);
+#ifndef NDEBUG
+    freed_.resize(capacity(), true);  // fresh slots start on the free list
+#endif
   }
 
   std::vector<std::unique_ptr<T[]>> slabs_;
   std::vector<std::uint32_t> free_;
   std::uint32_t live_ = 0;
+#ifndef NDEBUG
+  std::vector<bool> freed_;  ///< mirrors free-list membership (debug only)
+#endif
 };
 
 /// A queued event: when it fires, who sent it (entity id + that entity's

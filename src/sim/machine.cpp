@@ -7,28 +7,14 @@
 #include <thread>
 
 #include "check/checker.hpp"
+#include "common/env.hpp"
 #include "common/log.hpp"
+#include "trace/trace.hpp"
 #include "udweave/context.hpp"
 
 namespace updown {
 
 namespace {
-/// UDSIM_LOG-style boolean env override: "0" or empty leaves the configured
-/// default; any other value turns the flag on.
-bool env_flag(const char* name, bool fallback) {
-  const char* v = std::getenv(name);
-  if (!v || !*v) return fallback;
-  return !(v[0] == '0' && v[1] == '\0');
-}
-
-/// Integer env override (UD_SHARDS): unset/empty/0 leaves the default.
-std::uint32_t env_u32(const char* name, std::uint32_t fallback) {
-  const char* v = std::getenv(name);
-  if (!v || !*v) return fallback;
-  const unsigned long parsed = std::strtoul(v, nullptr, 10);
-  return parsed > 0 ? static_cast<std::uint32_t>(parsed) : fallback;
-}
-
 constexpr Tick kNoEvent = std::numeric_limits<Tick>::max();
 }  // namespace
 
@@ -62,7 +48,9 @@ Machine::Machine(MachineConfig cfg)
     memory_.set_observer(checker_.get());
   }
 
-  nshards_ = std::min(env_u32("UD_SHARDS", cfg_.shards), cfg_.nodes);
+  nshards_ = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      env_u64("UD_SHARDS", cfg_.shards, std::numeric_limits<std::uint32_t>::max()),
+      cfg_.nodes));
   if (nshards_ == 0) nshards_ = 1;
   // The checker's side tables (vector clocks, shadow cells, lifetime maps)
   // are engine-global; it runs on the serial engine only. Documented
@@ -79,6 +67,18 @@ Machine::Machine(MachineConfig cfg)
   for (std::uint32_t s = 0; s < nshards_; ++s) {
     shards_.push_back(std::make_unique<EngineShard>());
     shards_.back()->outbox.resize(nshards_);
+  }
+
+  // udtrace: the env variable overrides the configured path; empty = off.
+  // Unlike the checker, the tracer runs under any shard count.
+  std::string trace_path = cfg_.trace;
+  if (const char* v = std::getenv("UD_TRACE"); v && *v) trace_path = v;
+  if (!trace_path.empty()) {
+    const Tick slice = static_cast<Tick>(
+        env_u64("UD_TRACE_SLICE", cfg_.trace_slice, Tick(1) << 30));
+    tracer_ = std::make_unique<Tracer>(cfg_, nshards_, std::move(trace_path), slice);
+    for (std::uint32_t s = 0; s < nshards_; ++s)
+      shards_[s]->trace = &tracer_->shard(s);
   }
 }
 
@@ -121,8 +121,14 @@ void Machine::route_message(EngineShard& sh, std::uint32_t ent, std::uint32_t se
   const Tick arrive = network_.arrival(depart, m.src, dst, bytes);
   sh.stats.messages_sent++;
   sh.stats.message_bytes += bytes;
+  const std::uint32_t src_node = node_of(m.src);
   const std::uint32_t dst_node = node_of(dst);
-  if (node_of(m.src) != dst_node) sh.stats.cross_node_messages++;
+  if (src_node != dst_node) sh.stats.cross_node_messages++;
+  // The calling shard owns the sending node (its network buckets were just
+  // charged), so every cell this hook touches is shard-owned.
+  if (tracer_)
+    tracer_->on_message(*sh.trace, src_node, dst_node, bytes, depart, arrive,
+                        network_.inject_backlog(src_node, depart));
   const std::uint32_t dshard = shard_of(dst_node);
   EngineShard& dsh = *shards_[dshard];
   if (&dsh == &sh) {
@@ -225,6 +231,9 @@ void Machine::exec_message(EngineShard& sh, std::uint32_t pool_index, Tick arriv
   lane.stats.events_executed++;
   sh.stats.events_executed++;
   sh.stats.charged_cycles += cost;
+  // Executed on the destination's owning shard: lane/node timelines and the
+  // arrival series are destination-keyed.
+  if (tracer_) tracer_->on_execute(dst, node_of(dst), arrive, start, cost);
   if (ctx.terminated()) {
     lane.deallocate_thread(tid);
     sh.stats.threads_destroyed++;
@@ -292,6 +301,9 @@ std::uint64_t Machine::deliver_inline(EngineShard& sh, Message&& m, Tick start) 
   const std::uint64_t cost = ctx.charged() + 1;  // +1: Thread Yield at return
   lane.stats.events_executed++;
   sh.stats.events_executed++;
+  // Inline cycles flow through the enclosing packet event (traced when that
+  // event completes); only the executed-event count moves here.
+  if (tracer_) tracer_->on_inline_execute(node_of(dst), start);
   if (ctx.terminated()) {
     lane.deallocate_thread(tid);
     sh.stats.threads_destroyed++;
@@ -310,6 +322,9 @@ void Machine::exec_dram(EngineShard& sh, std::uint32_t pool_index, Tick arrive) 
   const std::uint32_t data_bytes = r.nwords * 8u + cfg_.msg_header_bytes;
   const Tick ready = dram_.service(arrive, r.dst_node, data_bytes);
   DescriptorSnapshot* snap = nshards_ > 1 ? &sh.mem_snap : nullptr;
+  // service() never returns before arrive + lat_dram; the excess is pure
+  // bandwidth queueing at the home node's DRAM port.
+  if (tracer_) tracer_->on_dram_wait(*sh.trace, ready - arrive - cfg_.lat_dram);
 
   // Checked mode sanitizes the address range (OOB/UAF) and race-checks each
   // word; invalid accesses are suppressed (reads deliver zeros) so the run
@@ -372,6 +387,7 @@ void Machine::run() {
       flush_stats();  // the report writes stats_.check; totals first
       checker_->report();
     }
+    if (tracer_) tracer_->serialize();
     return;
   }
 
@@ -393,6 +409,11 @@ void Machine::run() {
     sh->eptr = nullptr;
   }
   if (first) std::rethrow_exception(first);
+
+  // Serialize only at a clean drain (cumulative rewrite: the last run() wins,
+  // covering the whole simulation so far). Faulted runs keep the previous
+  // trace file intact for post-mortem.
+  if (tracer_) tracer_->serialize();
 }
 
 void Machine::run_shard(std::uint32_t my, Tick lookahead) {

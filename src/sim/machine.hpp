@@ -42,6 +42,8 @@ namespace updown {
 
 class Ctx;
 class Checker;
+class Tracer;
+struct TraceShard;
 
 /// Reusable spin barrier (generation-counting). The window protocol crosses
 /// it twice per round; rounds are short (one lookahead window of events), so
@@ -99,6 +101,7 @@ struct EngineShard {
   std::vector<MailBox> outbox;      ///< indexed by destination shard
   DescriptorSnapshot mem_snap;      ///< refreshed at every window boundary
   std::exception_ptr eptr;          ///< first exception thrown on this shard
+  TraceShard* trace = nullptr;      ///< this shard's udtrace buffers (null = off)
 };
 
 class Machine {
@@ -162,6 +165,12 @@ class Machine {
   /// Enabled via MachineConfig::check or the UD_CHECK environment variable;
   /// hook sites pay one null test when disabled.
   Checker* checker() { return checker_.get(); }
+
+  /// The udtrace timeline/profiling subsystem (src/trace/), or nullptr when
+  /// off. Enabled via MachineConfig::trace or the UD_TRACE environment
+  /// variable; same one-null-test hook discipline as the checker, but unlike
+  /// udcheck it runs under any shard count (see trace/trace.hpp).
+  Tracer* tracer() { return tracer_.get(); }
 
   // ---- Statistics ------------------------------------------------------------
   // Execution accumulates into per-shard delta blocks; the accessors fold
@@ -292,6 +301,7 @@ class Machine {
   Tick now_ = 0;
   MachineStats stats_;
   std::unique_ptr<Checker> checker_;  ///< null unless checking is enabled
+  std::unique_ptr<Tracer> tracer_;    ///< null unless tracing is enabled
   std::shared_ptr<void> user_;
   void* user_ptr_ = nullptr;
   std::unordered_map<std::type_index, std::shared_ptr<void>> services_;

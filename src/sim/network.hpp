@@ -90,6 +90,17 @@ class NetworkModel {
     return static_cast<Tick>((t + kFpOne - 1) >> kFpShift) + lat;
   }
 
+  /// Injection-port backlog of `node` at `now`: how many cycles of already
+  /// accepted traffic are still queued ahead of a fresh send (0 when the
+  /// bucket has drained). A simulated quantity derived from the node's own
+  /// token bucket, so it is shard-owned exactly like arrival() — udtrace
+  /// samples it per send for the queue-depth time series.
+  Tick inject_backlog(std::uint32_t node, Tick now) const {
+    const std::uint64_t t = static_cast<std::uint64_t>(now) << kFpShift;
+    const std::uint64_t inj = inject_free_[node];
+    return inj > t ? static_cast<Tick>((inj - t) >> kFpShift) : 0;
+  }
+
   void reset() {
     std::fill(inject_free_.begin(), inject_free_.end(), 0);
     std::fill(bisection_free_.begin(), bisection_free_.end(), 0);

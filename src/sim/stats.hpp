@@ -7,6 +7,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <cstdio>
 #include <vector>
@@ -73,10 +74,13 @@ struct ShuffleStats {
 
   /// Tuples that crossed the wire (emitted minus map-side-combined).
   std::uint64_t tuples_delivered() const { return tuples_emitted - tuples_combined; }
-  /// Achieved tuples-per-message: 1.0 without coalescing.
+  /// Achieved tuples-per-message: 1.0 without coalescing. A job that emitted
+  /// nothing sent no messages and achieved exactly the uncoalesced ratio, so
+  /// the empty case reports 1.0 (a 0.0 row in the bench JSON would read as a
+  /// pathological shuffle, not an idle one).
   double coalescing_factor() const {
     return messages ? static_cast<double>(tuples_delivered()) / static_cast<double>(messages)
-                    : 0.0;
+                    : 1.0;
   }
 
   void merge(const ShuffleStats& s) {
@@ -135,8 +139,19 @@ struct MachineStats {
   /// fan-out, control, DRAM replies). Benches print this so figures and CI
   /// can assert on shuffle message counts directly.
   void print_traffic_summary(std::FILE* f = stdout) const {
-    const std::uint64_t other_msgs = messages_sent - shuffle.messages;
-    const std::uint64_t other_bytes = message_bytes - shuffle.bytes;
+    // The shuffle split only makes sense against merged machine totals. On an
+    // unmerged per-shard delta block the shuffle counters can exceed the
+    // shard's own message total (emit-side accounting vs route-side
+    // accounting land on different shards), and the unsigned subtraction
+    // would underflow into absurd "other traffic" rows — clamp to zero, and
+    // flag the misuse in debug builds.
+    assert(messages_sent >= shuffle.messages && message_bytes >= shuffle.bytes &&
+           "print_traffic_summary: shuffle counters exceed machine totals "
+           "(printing an unmerged per-shard delta?)");
+    const std::uint64_t other_msgs =
+        messages_sent >= shuffle.messages ? messages_sent - shuffle.messages : 0;
+    const std::uint64_t other_bytes =
+        message_bytes >= shuffle.bytes ? message_bytes - shuffle.bytes : 0;
     std::fprintf(f, "--- traffic summary ---\n");
     std::fprintf(f, "%-28s %12llu msgs %14llu bytes (%llu cross-node)\n", "total",
                  static_cast<unsigned long long>(messages_sent),

@@ -22,6 +22,7 @@
 #include "check/checker.hpp"
 #include "common/log.hpp"
 #include "sim/machine.hpp"
+#include "trace/trace.hpp"
 
 namespace updown {
 
@@ -263,6 +264,20 @@ class Ctx {
     terminate_ = true;
   }
   bool terminated() const { return terminate_; }
+
+  // ---- udtrace phase spans ---------------------------------------------------
+  // Named begin/end markers on this lane's timeline (KVMSR map / drain /
+  // flush, application supersteps). One null test when tracing is off; when
+  // on, a record lands in the executing shard's trace buffer stamped with the
+  // lane's private marker counter, so serialization orders markers
+  // identically for any shard count. Spans on one lane nest LIFO in the
+  // Chrome trace viewer; keep begin/end balanced per lane.
+  void trace_phase_begin(std::string_view name) {
+    if (Tracer* t = m_.tracer()) t->phase_begin(*sh_.trace, nwid_, now(), name);
+  }
+  void trace_phase_end(std::string_view name) {
+    if (Tracer* t = m_.tracer()) t->phase_end(*sh_.trace, nwid_, now(), name);
+  }
 
   /// Trace in the paper's [BASIM_PRINT]-style format (tick-prefixed).
   void log(const char* fmt, ...) const {

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "udweave/context.hpp"
 
 namespace updown {
@@ -271,6 +274,68 @@ TEST(Machine, StatsTrackThreadsAndMessages) {
   EXPECT_EQ(m.stats().events_executed, 3u);
   EXPECT_EQ(m.stats().messages_sent, 3u);
   EXPECT_GE(m.stats().max_live_threads, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// UD_SHARDS is parsed strictly: trailing garbage or out-of-range values used
+// to be silently accepted ("4x" ran as 4 shards, "-1" wrapped), masking
+// misconfigured CI matrices. Now they fail loudly at machine construction.
+// ---------------------------------------------------------------------------
+
+/// Pin an environment variable for the scope of a test (and restore it after).
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_ = old != nullptr;
+    if (old) old_ = old;
+    if (value) ::setenv(name, value, 1);
+    else ::unsetenv(name);
+  }
+  ~EnvGuard() {
+    if (had_) ::setenv(name_.c_str(), old_.c_str(), 1);
+    else ::unsetenv(name_.c_str());
+  }
+
+ private:
+  std::string name_, old_;
+  bool had_ = false;
+};
+
+TEST(MachineEnv, ShardsTrailingGarbageThrows) {
+  EnvGuard g("UD_SHARDS", "4x");
+  EXPECT_THROW(Machine{MachineConfig::scaled(4)}, std::invalid_argument);
+}
+
+TEST(MachineEnv, ShardsNegativeThrows) {
+  EnvGuard g("UD_SHARDS", "-1");
+  EXPECT_THROW(Machine{MachineConfig::scaled(4)}, std::invalid_argument);
+}
+
+TEST(MachineEnv, ShardsOverflowThrows) {
+  EnvGuard g("UD_SHARDS", "99999999999999999999999");
+  EXPECT_THROW(Machine{MachineConfig::scaled(4)}, std::invalid_argument);
+}
+
+TEST(MachineEnv, ShardsZeroKeepsConfiguredDefault) {
+  EnvGuard g("UD_SHARDS", "0");
+  MachineConfig cfg = MachineConfig::scaled(4);
+  cfg.shards = 2;
+  Machine m(cfg);
+  EXPECT_EQ(m.shards(), 2u);
+}
+
+TEST(MachineEnv, ShardsValidValueAppliesAndClampsToNodes) {
+  {
+    EnvGuard g("UD_SHARDS", "2");
+    Machine m(MachineConfig::scaled(4));
+    EXPECT_EQ(m.shards(), 2u);
+  }
+  {
+    EnvGuard g("UD_SHARDS", "64");  // more shards than nodes: clamp
+    Machine m(MachineConfig::scaled(4));
+    EXPECT_EQ(m.shards(), 4u);
+  }
 }
 
 }  // namespace
