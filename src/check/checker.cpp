@@ -31,8 +31,10 @@ const char* check_kind_name(CheckKind k) {
   return "unknown";
 }
 
-Checker::Checker(Machine& m, bool sp_strict)
-    : m_(m), sp_strict_(sp_strict), slot_lt_(m.config().total_lanes()) {
+Checker::Checker(Machine& m, bool sp_strict) : m_(m), sp_strict_(sp_strict) {
+  // slot_lt_ grows on demand (see slot_lifetime): like the engine's lane
+  // table, the shadow state is index-addressed but materializes only for
+  // lanes that actually run threads.
   lifetimes_.emplace_back();  // [0] = the host (TOP core), alive forever
 }
 
@@ -168,6 +170,7 @@ Checker::LifetimeId Checker::new_lifetime(NetworkId nwid, ThreadId tid, EventLab
 }
 
 Checker::LifetimeId& Checker::slot_lifetime(NetworkId nwid, ThreadId tid) {
+  if (nwid >= slot_lt_.size()) slot_lt_.resize(static_cast<std::size_t>(nwid) + 1);
   auto& v = slot_lt_[nwid];
   if (tid >= v.size()) v.resize(static_cast<std::size_t>(tid) + 1, kNoLifetime);
   return v[tid];

@@ -271,7 +271,7 @@ class Checker final : public MemoryObserver {
   const bool sp_strict_;
 
   std::vector<Lifetime> lifetimes_;  ///< index = LifetimeId; [0] is the host
-  std::vector<std::vector<LifetimeId>> slot_lt_;  ///< per lane, per tid
+  std::vector<std::vector<LifetimeId>> slot_lt_;  ///< per lane, per tid (lazy rows)
   std::uint32_t era_ = 1;  ///< bumped at every full drain (report)
 
   // Origin of the message/request currently being routed. Execution is

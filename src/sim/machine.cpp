@@ -3,8 +3,15 @@
 #include <algorithm>
 #include <cstdlib>
 #include <limits>
+#include <numeric>
 #include <stdexcept>
 #include <thread>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
 
 #include "check/checker.hpp"
 #include "common/env.hpp"
@@ -16,6 +23,31 @@ namespace updown {
 
 namespace {
 constexpr Tick kNoEvent = std::numeric_limits<Tick>::max();
+
+/// Rebalance only on real skew: max shard load above 1.2x the mean.
+constexpr std::uint64_t kStealSkewNum = 6, kStealSkewDen = 5;
+
+/// Validated pass-through so the LaneTable member (sized total_lanes()) is
+/// never constructed from a bogus configuration.
+MachineConfig validated(MachineConfig cfg) {
+  if (!cfg.valid()) throw std::invalid_argument("Machine: invalid configuration");
+  return cfg;
+}
+
+/// Pin the calling thread to one CPU, round-robin over the online set
+/// (UD_PIN). Best effort: failures are ignored, non-Linux is a no-op.
+void pin_self(std::uint32_t idx) {
+#ifdef __linux__
+  const long ncpu = ::sysconf(_SC_NPROCESSORS_ONLN);
+  if (ncpu <= 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(idx % static_cast<std::uint32_t>(ncpu)), &set);
+  ::pthread_setaffinity_np(::pthread_self(), sizeof(set), &set);
+#else
+  (void)idx;
+#endif
+}
 }  // namespace
 
 void SpinBarrier::arrive_and_wait() {
@@ -31,17 +63,14 @@ void SpinBarrier::arrive_and_wait() {
 }
 
 Machine::Machine(MachineConfig cfg)
-    : cfg_(cfg),
-      memory_(cfg.nodes),
+    : cfg_(validated(std::move(cfg))),
+      memory_(cfg_.nodes),
       network_(cfg_),
       dram_(cfg_),
+      lanes_(cfg_.total_lanes(), cfg_.max_threads_per_lane, cfg_.scratchpad_bytes),
       lpn_div_(cfg_.lanes_per_node()),
       lpa_div_(cfg_.lanes_per_accel),
       barrier_(1) {
-  if (!cfg_.valid()) throw std::invalid_argument("Machine: invalid configuration");
-  lanes_.reserve(cfg_.total_lanes());
-  for (std::uint64_t i = 0; i < cfg_.total_lanes(); ++i)
-    lanes_.emplace_back(cfg_.max_threads_per_lane, cfg_.scratchpad_bytes);
   if (env_flag("UD_CHECK", cfg_.check)) {
     checker_ = std::make_unique<Checker>(
         *this, env_flag("UD_CHECK_SP_STRICT", cfg_.check_sp_strict));
@@ -63,6 +92,17 @@ Machine::Machine(MachineConfig cfg)
   barrier_.set_parties(nshards_);
   local_min_.assign(nshards_, kNoEvent);
   dram_seq_.assign(cfg_.nodes, 0);
+  // Scale-aware sharding knobs. UD_STEAL_PERIOD is parsed unconditionally
+  // (strict: garbage must throw here, not be silently ignored when stealing
+  // happens to be off).
+  pin_ = env_flag("UD_PIN", cfg_.pin);
+  steal_period_ = static_cast<std::uint32_t>(
+      env_u64("UD_STEAL_PERIOD", cfg_.steal_period, 1u << 20));
+  if (steal_period_ == 0) steal_period_ = 1;
+  steal_ = env_flag("UD_STEAL", cfg_.steal) && nshards_ > 1;
+  owner_.resize(cfg_.nodes);
+  for (std::uint32_t n = 0; n < cfg_.nodes; ++n) owner_[n] = n % nshards_;
+  if (steal_) node_work_.assign(cfg_.nodes, 0);
   shards_.reserve(nshards_);
   for (std::uint32_t s = 0; s < nshards_; ++s) {
     shards_.push_back(std::make_unique<EngineShard>());
@@ -189,8 +229,8 @@ void Machine::route_dram(EngineShard& sh, std::uint32_t ent, std::uint32_t seq,
 void Machine::exec_message(EngineShard& sh, std::uint32_t pool_index, Tick arrive) {
   Message& m = sh.msg_pool[pool_index];
   const NetworkId dst = evw::nwid(m.evw);
-  Lane& lane = lanes_[dst];
-  const Tick start = std::max(arrive, lane.free_at);
+  Lane lane(lanes_, dst);
+  const Tick start = std::max(arrive, lanes_.free_at[dst]);
   const EventLabel label = evw::label(m.evw);
 
   // Checked mode validates the delivery (label, target liveness, recycled
@@ -226,11 +266,17 @@ void Machine::exec_message(EngineShard& sh, std::uint32_t pool_index, Tick arriv
   def.invoke(ctx, state);
 
   const std::uint64_t cost = ctx.charged() + 1;  // +1: Thread Yield at return
-  lane.free_at = start + cost;
-  lane.stats.busy_cycles += cost;
-  lane.stats.events_executed++;
+  const Tick lane_free = start + cost;
+  lanes_.free_at[dst] = lane_free;
+  LaneStats& lst = lane.stats();
+  lst.busy_cycles += cost;
+  lst.events_executed++;
   sh.stats.events_executed++;
   sh.stats.charged_cycles += cost;
+  // Work-stealing signal: charged cycles, accumulated per node (single
+  // writer: this shard owns dst's node). Read/zeroed by shard 0 between the
+  // steal barriers.
+  if (steal_) node_work_[node_of(dst)] += cost;
   // Executed on the destination's owning shard: lane/node timelines and the
   // arrival series are destination-keyed.
   if (tracer_) tracer_->on_execute(dst, node_of(dst), arrive, start, cost);
@@ -240,12 +286,12 @@ void Machine::exec_message(EngineShard& sh, std::uint32_t pool_index, Tick arriv
     --sh.live_threads;
   }
   if (checker_) checker_->on_task_end(dst, tid, ctx.terminated());
-  if (lane.free_at > sh.now) sh.now = lane.free_at;
+  if (lane_free > sh.now) sh.now = lane_free;
 }
 
 std::uint64_t Machine::deliver_inline(EngineShard& sh, Message&& m, Tick start) {
   const NetworkId dst = evw::nwid(m.evw);
-  Lane& lane = lanes_[dst];
+  Lane lane(lanes_, dst);
   const EventLabel label = evw::label(m.evw);
   const EventDef& def = program_.def(label);
 
@@ -299,7 +345,7 @@ std::uint64_t Machine::deliver_inline(EngineShard& sh, Message&& m, Tick start) 
   // busy/charged cycles flow through the caller's event), so only the event
   // and thread counters are taken here.
   const std::uint64_t cost = ctx.charged() + 1;  // +1: Thread Yield at return
-  lane.stats.events_executed++;
+  lane.stats().events_executed++;
   sh.stats.events_executed++;
   // Inline cycles flow through the enclosing packet event (traced when that
   // event completes); only the executed-event count moves here.
@@ -393,12 +439,29 @@ void Machine::run() {
 
   const Tick lookahead = cfg_.min_cross_node_latency();
   abort_.store(false, std::memory_order_relaxed);
+#ifdef __linux__
+  // UD_PIN: shard 0 runs on the caller's thread; save its affinity so the
+  // host program isn't left confined to one CPU after the run.
+  cpu_set_t caller_mask;
+  bool restore_mask = false;
+  if (pin_)
+    restore_mask =
+        ::pthread_getaffinity_np(::pthread_self(), sizeof(caller_mask), &caller_mask) == 0;
+#endif
   std::vector<std::thread> workers;
   workers.reserve(nshards_ - 1);
   for (std::uint32_t s = 1; s < nshards_; ++s)
-    workers.emplace_back([this, s, lookahead] { run_shard(s, lookahead); });
+    workers.emplace_back([this, s, lookahead] {
+      if (pin_) pin_self(s);
+      run_shard(s, lookahead);
+    });
+  if (pin_) pin_self(0);
   run_shard(0, lookahead);
   for (auto& w : workers) w.join();
+#ifdef __linux__
+  if (restore_mask)
+    ::pthread_setaffinity_np(::pthread_self(), sizeof(caller_mask), &caller_mask);
+#endif
 
   for (const auto& sh : shards_)
     if (sh->now > now_) now_ = sh->now;
@@ -416,8 +479,103 @@ void Machine::run() {
   if (tracer_) tracer_->serialize();
 }
 
+void Machine::merge_inbox(EngineShard& sh, std::uint32_t my) {
+  for (std::uint32_t s = 0; s < nshards_; ++s) {
+    EngineShard::MailBox& box = shards_[s]->outbox[my];
+    for (EngineShard::MailMsg& mm : box.msgs) {
+      if (!mm.bulk.empty()) {
+        const std::uint32_t bidx = sh.bulk_pool.acquire();
+        std::copy(mm.bulk.begin(), mm.bulk.end(), sh.bulk_pool[bidx].w.begin());
+        mm.m.bulk = bidx;
+      }
+      const std::uint32_t idx = sh.msg_pool.acquire();
+      sh.msg_pool[idx] = mm.m;
+      push(sh, QEntry{mm.t, mm.ent, mm.seq, idx, kMsg});
+    }
+    for (EngineShard::MailDram& md : box.drams) {
+      const std::uint32_t idx = sh.dram_pool.acquire();
+      sh.dram_pool[idx] = md.r;
+      push(sh, QEntry{md.t, md.ent, md.seq, idx, kDram});
+    }
+    sh.mail_received += box.msgs.size() + box.drams.size();
+    box.msgs.clear();
+    box.drams.clear();
+  }
+}
+
+void Machine::plan_rebalance() {
+  rebalance_now_ = false;
+  std::vector<std::uint64_t> load(nshards_, 0);
+  std::uint64_t total = 0;
+  for (std::uint32_t n = 0; n < cfg_.nodes; ++n) {
+    load[owner_[n]] += node_work_[n];
+    total += node_work_[n];
+  }
+  if (total == 0) return;
+  const std::uint64_t peak = *std::max_element(load.begin(), load.end());
+  // peak/(total/shards) <= 1.2, in integers.
+  if (peak * nshards_ * kStealSkewDen <= total * kStealSkewNum) {
+    std::fill(node_work_.begin(), node_work_.end(), 0);
+    return;
+  }
+  // Greedy LPT: heaviest nodes first (ties by node id — stable_sort over the
+  // identity permutation), each onto the currently least-loaded shard. All
+  // inputs are simulated quantities, so for a fixed shard count the remap
+  // sequence is identical on every run.
+  std::vector<std::uint32_t> order(cfg_.nodes);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) { return node_work_[a] > node_work_[b]; });
+  std::vector<std::uint64_t> newload(nshards_, 0);
+  for (std::uint32_t n : order) {
+    std::uint32_t best = 0;
+    for (std::uint32_t s = 1; s < nshards_; ++s)
+      if (newload[s] < newload[best]) best = s;
+    owner_[n] = best;
+    newload[best] += node_work_[n];
+  }
+  std::fill(node_work_.begin(), node_work_.end(), 0);
+  rebalance_now_ = true;
+  ++rebalances_;
+}
+
+void Machine::migrate_queue(EngineShard& sh, std::uint32_t my) {
+  std::vector<QEntry> keep;
+  keep.reserve(sh.queue.size());
+  while (!sh.queue.empty()) {
+    const QEntry e = sh.queue.pop();
+    const std::uint32_t node = e.kind == kMsg
+                                   ? node_of(evw::nwid(sh.msg_pool[e.index].evw))
+                                   : sh.dram_pool[e.index].dst_node;
+    const std::uint32_t dest = owner_[node];
+    if (dest == my) {
+      keep.push_back(e);
+      continue;
+    }
+    if (e.kind == kMsg) {
+      Message m = sh.msg_pool[e.index];
+      std::vector<Word> bulk;
+      if (m.bulk != kNoBulk) {
+        const Word* w = sh.bulk_pool[m.bulk].w.data();
+        bulk.assign(w, w + m.bulk_words);
+      }
+      release_bulk(sh, e.index);
+      sh.msg_pool.release(e.index);
+      m.bulk = kNoBulk;  // re-pooled by the new owner at merge time
+      sh.outbox[dest].msgs.push_back({e.t, e.src, e.seq, m, std::move(bulk)});
+    } else {
+      sh.outbox[dest].drams.push_back({e.t, e.src, e.seq, sh.dram_pool[e.index]});
+      sh.dram_pool.release(e.index);
+    }
+  }
+  // Re-insert survivors. Entries below the calendar cursor clamp into the
+  // current bucket, where the lazy sort restores exact (t, src, seq) order.
+  for (const QEntry& e : keep) sh.queue.push(e);
+}
+
 void Machine::run_shard(std::uint32_t my, Tick lookahead) {
   EngineShard& sh = *shards_[my];
+  std::uint64_t round = 0;
   // Every shard walks the same round structure and hits every barrier the
   // same number of times; both exit tests (quiescence, abort) are decisions
   // all shards reach identically, so nobody is left stranded at a barrier.
@@ -428,31 +586,39 @@ void Machine::run_shard(std::uint32_t my, Tick lookahead) {
     // lookahead window ahead, so merged entries never sort before anything
     // this shard already executed.
     try {
-      for (std::uint32_t s = 0; s < nshards_; ++s) {
-        EngineShard::MailBox& box = shards_[s]->outbox[my];
-        for (EngineShard::MailMsg& mm : box.msgs) {
-          if (!mm.bulk.empty()) {
-            const std::uint32_t bidx = sh.bulk_pool.acquire();
-            std::copy(mm.bulk.begin(), mm.bulk.end(), sh.bulk_pool[bidx].w.begin());
-            mm.m.bulk = bidx;
-          }
-          const std::uint32_t idx = sh.msg_pool.acquire();
-          sh.msg_pool[idx] = mm.m;
-          push(sh, QEntry{mm.t, mm.ent, mm.seq, idx, kMsg});
-        }
-        for (EngineShard::MailDram& md : box.drams) {
-          const std::uint32_t idx = sh.dram_pool.acquire();
-          sh.dram_pool[idx] = md.r;
-          push(sh, QEntry{md.t, md.ent, md.seq, idx, kDram});
-        }
-        sh.mail_received += box.msgs.size() + box.drams.size();
-        box.msgs.clear();
-        box.drams.clear();
-      }
+      merge_inbox(sh, my);
       memory_.refresh(sh.mem_snap);
     } catch (...) {
       if (!sh.eptr) sh.eptr = std::current_exception();
     }
+
+    // Work stealing: every steal_period_ rounds, remap the node->shard
+    // partition if the per-node work counters show skew. Three extra
+    // barriers, entered by every shard on the same rounds (the round counters
+    // advance in lock-step): S1 orders all inbox merges before shard 0 reads
+    // the counters; S2 publishes the new owner map; S3 orders the migration
+    // mail before the second merge. Everything that moves is simulated state
+    // keyed by (t, src, seq), so the merged schedule — and thus every golden
+    // counter — is unchanged (see DESIGN.md "Memory layout & scale").
+    if (steal_ && ++round % steal_period_ == 0) {
+      barrier_.arrive_and_wait();  // S1: work counters and merges stable
+      if (my == 0) plan_rebalance();
+      barrier_.arrive_and_wait();  // S2: owner_ / rebalance_now_ visible
+      if (rebalance_now_) {
+        try {
+          migrate_queue(sh, my);
+        } catch (...) {
+          if (!sh.eptr) sh.eptr = std::current_exception();
+        }
+        barrier_.arrive_and_wait();  // S3: all migration mail appended
+        try {
+          merge_inbox(sh, my);
+        } catch (...) {
+          if (!sh.eptr) sh.eptr = std::current_exception();
+        }
+      }
+    }
+
     // A shard that failed (this round's merge, or last round's exec) raises
     // the abort flag here, strictly before barrier A. Every store to abort_
     // is pre-A and every load post-A, so all shards take the same branch; a
@@ -525,13 +691,15 @@ EngineStats Machine::engine_stats() const {
   }
   es.shards = nshards_;
   es.windows = windows_;
+  es.rebalances = rebalances_;
   return es;
 }
 
 std::vector<LaneStats> Machine::lane_stats() const {
-  std::vector<LaneStats> out;
-  out.reserve(lanes_.size());
-  for (const auto& l : lanes_) out.push_back(l.stats);
+  // Unmaterialized lanes never executed anything: all-zero stats.
+  std::vector<LaneStats> out(lanes_.size());
+  for (std::uint64_t id = 0; id < lanes_.size(); ++id)
+    if (const LaneCore* c = lanes_.core_if(static_cast<NetworkId>(id))) out[id] = c->stats;
   return out;
 }
 

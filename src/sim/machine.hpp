@@ -128,14 +128,28 @@ class Machine {
   NetworkId first_lane_of_node(std::uint32_t node) const {
     return node * cfg_.lanes_per_node();
   }
-  Lane& lane(NetworkId nwid) { return lanes_.at(nwid); }
+  /// Handle over one lane's state (hot path: Release builds index unchecked;
+  /// Debug keeps the out-of-range throw the fat-object .at() used to give).
+  Lane lane(NetworkId nwid) {
+#ifndef NDEBUG
+    if (nwid >= lanes_.size())
+      throw std::out_of_range("Machine::lane: networkID beyond machine lanes");
+#endif
+    return Lane(lanes_, nwid);
+  }
+  /// The machine-wide SoA lane storage (benches and tests inspect laziness).
+  LaneTable& lane_table() { return lanes_; }
+  const LaneTable& lane_table() const { return lanes_; }
 
   // ---- Sharding -------------------------------------------------------------
   /// Host threads the engine runs on (resolved from UD_SHARDS /
   /// MachineConfig::shards, clamped to the node count; 1 when checking).
   std::uint32_t shards() const { return nshards_; }
+  /// Owning shard of `node`. Starts as the round-robin partition
+  /// (node % shards); work stealing (UD_STEAL) remaps it at window
+  /// boundaries, with all shards observing the same map each window.
   std::uint32_t shard_of(std::uint32_t node) const {
-    return nshards_ == 1 ? 0 : node % nshards_;
+    return nshards_ == 1 ? 0 : owner_[node];
   }
 
   // ---- Host (TOP core) interface --------------------------------------------
@@ -277,6 +291,15 @@ class Machine {
 
   /// One shard's half of the window protocol (body of run() when sharded).
   void run_shard(std::uint32_t my, Tick lookahead);
+  /// Merge every mailbox addressed to shard `my` into its queue.
+  void merge_inbox(EngineShard& sh, std::uint32_t my);
+  /// Shard 0, inside the steal barriers: decide whether the node->shard
+  /// partition is skewed and, if so, compute a new owner map (greedy LPT over
+  /// per-node work). Sets rebalance_now_ for all shards to read.
+  void plan_rebalance();
+  /// After a remap: drain this shard's queue, keep entries for nodes it still
+  /// owns, and mail the rest to their new owners.
+  void migrate_queue(EngineShard& sh, std::uint32_t my);
   /// Fold all shards' stats deltas into stats_ and zero the deltas.
   void flush_stats();
 
@@ -287,7 +310,7 @@ class Machine {
   GlobalMemory memory_;
   NetworkModel network_;
   DramModel dram_;
-  std::vector<Lane> lanes_;  ///< by value: one indirection per event, not two
+  LaneTable lanes_;  ///< SoA lane state: hot flat arrays + lazy cold cores
   FastDiv lpn_div_;  ///< by lanes_per_node()
   FastDiv lpa_div_;  ///< by lanes_per_accel
   std::uint32_t nshards_ = 1;
@@ -298,6 +321,16 @@ class Machine {
   std::vector<Tick> local_min_;  ///< per-shard queue minimum, valid at barrier A
   std::atomic<bool> abort_{false};
   std::uint64_t windows_ = 0;  ///< lock-step windows executed (shard 0 counts)
+  bool pin_ = false;           ///< pin shard threads to CPUs (UD_PIN)
+  bool steal_ = false;         ///< window-boundary work stealing (UD_STEAL)
+  std::uint32_t steal_period_ = 16;       ///< windows between imbalance checks
+  std::vector<std::uint32_t> owner_;      ///< node -> owning shard
+  /// Charged cycles per node since the last imbalance check. Written only by
+  /// the node's owning shard during the exec phase; read and zeroed by shard 0
+  /// between the steal barriers (happens-before via the barrier protocol).
+  std::vector<std::uint64_t> node_work_;
+  bool rebalance_now_ = false;  ///< shard 0 writes between S1/S2; all read after S2
+  std::uint64_t rebalances_ = 0;
   Tick now_ = 0;
   MachineStats stats_;
   std::unique_ptr<Checker> checker_;  ///< null unless checking is enabled

@@ -62,8 +62,6 @@ Tracer::Tracer(const MachineConfig& cfg, std::uint32_t nshards, std::string json
       node_sent_(cfg.nodes),
       node_sent_bytes_(cfg.nodes),
       node_backlog_(cfg.nodes),
-      traffic_msgs_(static_cast<std::size_t>(cfg.nodes) * cfg.nodes, 0),
-      traffic_bytes_(static_cast<std::size_t>(cfg.nodes) * cfg.nodes, 0),
       phase_seq_(cfg.total_lanes(), 0) {}
 
 void Tracer::on_execute(std::uint32_t lane, std::uint32_t node, Tick arrive, Tick start,
@@ -86,13 +84,26 @@ void Tracer::on_message(TraceShard& ts, std::uint32_t src_node, std::uint32_t ds
   bump(node_sent_[src_node], sidx, 1);
   bump(node_sent_bytes_[src_node], sidx, bytes);
   bump_max(node_backlog_[src_node], sidx, inject_backlog);
-  traffic_msgs_[static_cast<std::size_t>(src_node) * cfg_.nodes + dst_node] += 1;
-  traffic_bytes_[static_cast<std::size_t>(src_node) * cfg_.nodes + dst_node] += bytes;
+  TraceShard::Traffic& cell =
+      ts.traffic[static_cast<std::uint64_t>(src_node) * cfg_.nodes + dst_node];
+  cell.msgs += 1;
+  cell.bytes += bytes;
   ts.msg_latency[hist_bucket(arrive - depart)] += 1;
 }
 
 void Tracer::on_dram_wait(TraceShard& ts, Tick wait) {
   ts.dram_wait[hist_bucket(wait)] += 1;
+}
+
+std::unordered_map<std::uint64_t, TraceShard::Traffic> Tracer::merged_traffic() const {
+  std::unordered_map<std::uint64_t, TraceShard::Traffic> out;
+  for (const auto& ts : shards_)
+    for (const auto& [key, cell] : ts.traffic) {
+      TraceShard::Traffic& sum = out[key];
+      sum.msgs += cell.msgs;
+      sum.bytes += cell.bytes;
+    }
+  return out;
 }
 
 std::uint32_t Tracer::intern(std::string_view name) {
@@ -202,6 +213,11 @@ void Tracer::write_json(std::FILE* f) const {
   const std::vector<TraceShard::Phase> phases = merged_phases(shards_);
   const auto msg_hist = summed_hist(shards_, &TraceShard::msg_latency);
   const auto dram_hist = summed_hist(shards_, &TraceShard::dram_wait);
+  const auto traffic = merged_traffic();
+  const auto traffic_at = [&](std::uint32_t s, std::uint32_t d) {
+    const auto it = traffic.find(static_cast<std::uint64_t>(s) * cfg_.nodes + d);
+    return it != traffic.end() ? it->second : TraceShard::Traffic{};
+  };
   const std::uint64_t n = nslices();
 
   // Chrome trace_event JSON object form. `ts` is nominally microseconds; we
@@ -221,16 +237,14 @@ void Tracer::write_json(std::FILE* f) const {
   for (std::uint32_t s = 0; s < cfg_.nodes; ++s) {
     std::fprintf(f, "%s[", s ? "," : "");
     for (std::uint32_t d = 0; d < cfg_.nodes; ++d)
-      std::fprintf(f, "%s%llu", d ? "," : "",
-                   (unsigned long long)traffic_msgs_[(std::size_t)s * cfg_.nodes + d]);
+      std::fprintf(f, "%s%llu", d ? "," : "", (unsigned long long)traffic_at(s, d).msgs);
     std::fprintf(f, "]");
   }
   std::fprintf(f, "],\n    \"traffic_matrix_bytes\": [");
   for (std::uint32_t s = 0; s < cfg_.nodes; ++s) {
     std::fprintf(f, "%s[", s ? "," : "");
     for (std::uint32_t d = 0; d < cfg_.nodes; ++d)
-      std::fprintf(f, "%s%llu", d ? "," : "",
-                   (unsigned long long)traffic_bytes_[(std::size_t)s * cfg_.nodes + d]);
+      std::fprintf(f, "%s%llu", d ? "," : "", (unsigned long long)traffic_at(s, d).bytes);
     std::fprintf(f, "]");
   }
   std::fprintf(f, "]\n},\n\"traceEvents\": [\n");
@@ -320,6 +334,7 @@ void Tracer::write_csv(std::FILE* f) const {
   const std::vector<TraceShard::Phase> phases = merged_phases(shards_);
   const auto msg_hist = summed_hist(shards_, &TraceShard::msg_latency);
   const auto dram_hist = summed_hist(shards_, &TraceShard::dram_wait);
+  const auto traffic = merged_traffic();
   const std::vector<double> imb = imbalance_series();
 
   std::fprintf(f, "# udtrace v1: slice=%llu ticks, nodes=%u, lanes=%llu\n",
@@ -351,16 +366,22 @@ void Tracer::write_csv(std::FILE* f) const {
   for (const auto& p : phases)
     std::fprintf(f, "phase,%llu,%u,%c:%s\n", (unsigned long long)p.t, p.lane,
                  p.begin ? 'B' : 'E', names_[p.name].c_str());
-  for (std::uint32_t s = 0; s < cfg_.nodes; ++s)
-    for (std::uint32_t d = 0; d < cfg_.nodes; ++d) {
-      const std::size_t i = (std::size_t)s * cfg_.nodes + d;
-      if (traffic_msgs_[i])
-        std::fprintf(f, "traffic_msgs,%u,%u,%llu\n", s, d,
-                     (unsigned long long)traffic_msgs_[i]);
-      if (traffic_bytes_[i])
-        std::fprintf(f, "traffic_bytes,%u,%u,%llu\n", s, d,
-                     (unsigned long long)traffic_bytes_[i]);
+  {
+    // Same (src, dst)-ascending row order the dense matrix walk produced.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(traffic.size());
+    for (const auto& [key, cell] : traffic) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (std::uint64_t key : keys) {
+      const std::uint32_t s = static_cast<std::uint32_t>(key / cfg_.nodes);
+      const std::uint32_t d = static_cast<std::uint32_t>(key % cfg_.nodes);
+      const TraceShard::Traffic& cell = traffic.at(key);
+      if (cell.msgs)
+        std::fprintf(f, "traffic_msgs,%u,%u,%llu\n", s, d, (unsigned long long)cell.msgs);
+      if (cell.bytes)
+        std::fprintf(f, "traffic_bytes,%u,%u,%llu\n", s, d, (unsigned long long)cell.bytes);
     }
+  }
   for (std::uint32_t b = 0; b < kTraceHistBuckets; ++b)
     if (msg_hist[b])
       std::fprintf(f, "hist_msg_latency,%u,,%llu\n", b, (unsigned long long)msg_hist[b]);

@@ -64,6 +64,18 @@ struct TraceShard {
   std::vector<Phase> phases;
   std::array<std::uint64_t, kTraceHistBuckets> msg_latency{};  ///< arrive - depart
   std::array<std::uint64_t, kTraceHistBuckets> dram_wait{};    ///< queue wait beyond lat_dram
+
+  /// Sparse (src node, dst node) -> traffic cell, keyed src * nodes + dst.
+  /// Per shard (each shard records the traffic its own source nodes emit) so
+  /// the map mutates without synchronization; serialization sums the shards.
+  /// Sparse because a dense nodes^2 matrix is ~1 GiB at the 8192-node
+  /// scale_sweep configurations while real traffic touches a tiny fraction
+  /// of the pairs.
+  struct Traffic {
+    std::uint64_t msgs = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::unordered_map<std::uint64_t, Traffic> traffic;
 };
 
 class Tracer {
@@ -116,6 +128,8 @@ class Tracer {
  private:
   std::uint32_t intern(std::string_view name);
   std::uint64_t slice_of(Tick t) const { return t / slice_; }
+  /// All shards' sparse traffic maps summed (serialization only).
+  std::unordered_map<std::uint64_t, TraceShard::Traffic> merged_traffic() const;
   /// Number of slices any series extends to (the serialized timeline length).
   std::uint64_t nslices() const;
   void write_json(std::FILE* f) const;
@@ -129,7 +143,10 @@ class Tracer {
   std::vector<TraceShard> shards_;
 
   // Slice-indexed series, grown on demand. Outer index = lane or node; each
-  // inner vector is written only by the owning shard.
+  // inner vector is written only by the owning shard. The outer vectors are
+  // pre-sized (they must never reallocate while shards write disjoint rows)
+  // but the rows themselves stay empty until a lane/node is active, so an
+  // idle lane costs one empty vector here, not a timeline.
   std::vector<std::vector<std::uint32_t>> lane_busy_;    ///< busy cycles / slice
   std::vector<std::vector<std::uint64_t>> node_busy_;    ///< busy cycles / slice
   std::vector<std::vector<std::uint64_t>> node_events_;  ///< executed events / slice
@@ -137,9 +154,6 @@ class Tracer {
   std::vector<std::vector<std::uint64_t>> node_sent_;    ///< messages sent / slice
   std::vector<std::vector<std::uint64_t>> node_sent_bytes_;  ///< bytes sent / slice
   std::vector<std::vector<std::uint64_t>> node_backlog_; ///< max inject backlog / slice
-
-  std::vector<std::uint64_t> traffic_msgs_;   ///< [src * nodes + dst]
-  std::vector<std::uint64_t> traffic_bytes_;  ///< [src * nodes + dst]
 
   std::vector<std::uint32_t> phase_seq_;  ///< per-lane marker counter
 

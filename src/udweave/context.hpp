@@ -28,7 +28,7 @@ namespace updown {
 
 class Ctx {
  public:
-  Ctx(Machine& m, EngineShard& sh, Lane& lane, Message& msg, Tick start, ThreadId tid,
+  Ctx(Machine& m, EngineShard& sh, Lane lane, Message& msg, Tick start, ThreadId tid,
       Word cevnt, ThreadState& state)
       : m_(m),
         sh_(sh),
@@ -95,8 +95,8 @@ class Ctx {
     for (std::size_t i = 0; i < n; ++i) m.ops[i] = ops[i];
     m.src = nwid();
     charge(n > 3 ? 2 : 1);  // Send Message: 1-2 cycles
-    lane_.stats.messages_sent++;
-    m_.route_message(sh_, nwid_, lane_.send_seq++, std::move(m), now());
+    lane_.stats().messages_sent++;
+    m_.route_message(sh_, nwid_, lane_.next_seq(), std::move(m), now());
   }
 
   /// Bulk send: a message whose header carries up to 3 plain operands and
@@ -119,8 +119,8 @@ class Ctx {
     const std::uint32_t base = (nwords + m.nops) > 3 ? 2u : 1u;
     const std::uint32_t flits = nwords > 8 ? (nwords - 8 + 3) / 4 : 0u;
     charge(base + flits);
-    lane_.stats.messages_sent++;
-    m_.route_message(sh_, nwid_, lane_.send_seq++, std::move(m), now(), words);
+    lane_.stats().messages_sent++;
+    m_.route_message(sh_, nwid_, lane_.next_seq(), std::move(m), now(), words);
   }
 
   /// Deliver an event to a thread on THIS lane synchronously, inside the
@@ -157,8 +157,8 @@ class Ctx {
     for (Word w : ops) m.ops[i++] = w;
     m.src = nwid();
     charge(1);
-    lane_.stats.messages_sent++;
-    m_.route_message(sh_, nwid_, lane_.send_seq++, std::move(m), now() + delay);
+    lane_.stats().messages_sent++;
+    m_.route_message(sh_, nwid_, lane_.next_seq(), std::move(m), now() + delay);
   }
 
   /// Reply along the received continuation (no-op when CCONT == IGNRCONT).
@@ -185,7 +185,7 @@ class Ctx {
     r.reply_cont = reply_cont;
     r.src = nwid();
     charge(2);  // Send DRAM: 1-2 cycles
-    m_.route_dram(sh_, nwid_, lane_.send_seq++, std::move(r), now());
+    m_.route_dram(sh_, nwid_, lane_.next_seq(), std::move(r), now());
   }
 
   /// Write words to DRAM; if `ack_label` != 0 an acknowledgement event is
@@ -207,7 +207,7 @@ class Ctx {
     r.reply_cont = reply_cont;
     r.src = nwid();
     charge(2);
-    m_.route_dram(sh_, nwid_, lane_.send_seq++, std::move(r), now());
+    m_.route_dram(sh_, nwid_, lane_.next_seq(), std::move(r), now());
   }
 
   // ---- Scratchpad ------------------------------------------------------------
@@ -294,7 +294,7 @@ class Ctx {
  private:
   Machine& m_;
   EngineShard& sh_;  ///< the host thread's engine shard (stats, mailboxes)
-  Lane& lane_;
+  Lane lane_;        ///< value handle over this lane's LaneTable row
   Message& msg_;
   Tick start_;
   ThreadId tid_;

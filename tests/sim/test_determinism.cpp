@@ -72,24 +72,39 @@ RunFingerprint fingerprint(Machine& m, Tick done, std::uint64_t result) {
 }
 
 RunFingerprint run_pr(std::uint32_t nodes, std::uint32_t shards = 1, bool check = false,
-                      std::uint32_t coalesce = 1) {
+                      std::uint32_t coalesce = 1, bool steal = false, bool pin = false) {
   EnvGuard g1("UD_SHARDS", std::to_string(shards).c_str());
   EnvGuard g2("UD_CHECK", check ? "1" : "0");
   EnvGuard g3("UD_COALESCE", std::to_string(coalesce).c_str());
+  EnvGuard g4("UD_STEAL", steal ? "1" : "0");
+  EnvGuard g5("UD_PIN", pin ? "1" : "0");
+  // An aggressive rebalance cadence so short runs actually cross the steal
+  // barriers and migrate queues, not just check the counters.
+  EnvGuard g6("UD_STEAL_PERIOD", steal ? "2" : nullptr);
   Machine m(MachineConfig::scaled(nodes));
   Graph g = rmat(9, {}, 77);
   SplitGraph sg = split_vertices(g, 32);
   DeviceGraph dg = upload_split_graph(m, sg);
   pr::Result r = pr::App::install(m, dg, sg, {.iterations = 2}).run();
-  if (!check && shards > 1) EXPECT_GT(m.engine_stats().windows, 0u);
+  if (!check && shards > 1) {
+    EXPECT_GT(m.engine_stats().windows, 0u);
+    // Stealing must actually happen for the steal rows to test anything: at
+    // period 2 this workload rebalances dozens of times per run.
+    if (steal) {
+      EXPECT_GT(m.engine_stats().rebalances, 0u);
+    }
+  }
   return fingerprint(m, r.done_tick, r.edge_updates);
 }
 
 RunFingerprint run_bfs(std::uint32_t nodes, std::uint32_t shards = 1, bool check = false,
-                       std::uint32_t coalesce = 1) {
+                       std::uint32_t coalesce = 1, bool steal = false, bool pin = false) {
   EnvGuard g1("UD_SHARDS", std::to_string(shards).c_str());
   EnvGuard g2("UD_CHECK", check ? "1" : "0");
   EnvGuard g3("UD_COALESCE", std::to_string(coalesce).c_str());
+  EnvGuard g4("UD_STEAL", steal ? "1" : "0");
+  EnvGuard g5("UD_PIN", pin ? "1" : "0");
+  EnvGuard g6("UD_STEAL_PERIOD", steal ? "2" : nullptr);
   Machine m(MachineConfig::scaled(nodes));
   Graph g = rmat(9, {.symmetrize = true}, 13);
   DeviceGraph dg = upload_graph(m, g);
@@ -97,6 +112,9 @@ RunFingerprint run_bfs(std::uint32_t nodes, std::uint32_t shards = 1, bool check
   // Each BFS round is one KVMSR invocation: rounds cross the drain path, so
   // a multi-round run exercises quiescence detection under sharding.
   EXPECT_GE(r.rounds, 2u);
+  if (!check && shards > 1 && steal) {
+    EXPECT_GT(m.engine_stats().rebalances, 0u);
+  }
   return fingerprint(m, r.done_tick, r.traversed_edges);
 }
 
@@ -193,6 +211,55 @@ TEST(DeterminismMatrix, CoalescedBfsIdenticalAcrossShardCounts) {
 TEST(DeterminismMatrix, CoalescedTriangleCountIdenticalAcrossShardCounts) {
   const RunFingerprint serial = run_tc(1, 16);
   EXPECT_EQ(run_tc(2, 16), serial);
+}
+
+// ---------------------------------------------------------------------------
+// The same matrix with the scale knobs on. UD_STEAL remaps the node->shard
+// partition at window boundaries and migrates queued events across shards;
+// UD_PIN pins each shard thread to a host CPU. Both must be pure host-side
+// optimizations: every fingerprint stays bit-identical to the serial run
+// (run_pr/run_bfs force UD_STEAL_PERIOD=2 so these short runs rebalance
+// dozens of times, asserted via engine_stats().rebalances > 0).
+// ---------------------------------------------------------------------------
+
+TEST(DeterminismMatrix, PageRankIdenticalUnderStealing) {
+  const RunFingerprint serial = run_pr(8, 1);
+  for (std::uint32_t shards : {2u, 4u, 8u})
+    EXPECT_EQ(run_pr(8, shards, false, 1, /*steal=*/true), serial)
+        << "shards=" << shards;
+}
+
+TEST(DeterminismMatrix, PageRankIdenticalUnderPinning) {
+  const RunFingerprint serial = run_pr(8, 1);
+  for (std::uint32_t shards : {2u, 4u, 8u})
+    EXPECT_EQ(run_pr(8, shards, false, 1, false, /*pin=*/true), serial)
+        << "shards=" << shards;
+}
+
+TEST(DeterminismMatrix, PageRankIdenticalUnderStealingAndPinning) {
+  const RunFingerprint serial = run_pr(8, 1);
+  for (std::uint32_t shards : {2u, 4u, 8u})
+    EXPECT_EQ(run_pr(8, shards, false, 1, /*steal=*/true, /*pin=*/true), serial)
+        << "shards=" << shards;
+}
+
+TEST(DeterminismMatrix, BfsIdenticalUnderStealingAndPinning) {
+  const RunFingerprint serial = run_bfs(8, 1);
+  for (std::uint32_t shards : {2u, 4u, 8u}) {
+    EXPECT_EQ(run_bfs(8, shards, false, 1, /*steal=*/true), serial)
+        << "shards=" << shards;
+    EXPECT_EQ(run_bfs(8, shards, false, 1, /*steal=*/true, /*pin=*/true), serial)
+        << "shards=" << shards;
+  }
+}
+
+TEST(DeterminismMatrix, CoalescedPageRankIdenticalUnderStealing) {
+  // Bulk (coalesced-packet) payloads ride the migration path by value; they
+  // must re-pool on the destination shard without perturbing anything.
+  const RunFingerprint serial = run_pr(8, 1, false, 16);
+  for (std::uint32_t shards : {2u, 4u, 8u})
+    EXPECT_EQ(run_pr(8, shards, false, 16, /*steal=*/true), serial)
+        << "shards=" << shards;
 }
 
 // ---------------------------------------------------------------------------

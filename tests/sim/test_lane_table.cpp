@@ -1,0 +1,215 @@
+// The SoA lane table: hot words in flat arrays, cold per-lane cores
+// materialized on first touch, scratchpad backing deferred further until the
+// first actual data access. These properties are what let a Machine be
+// configured at paper scale (thousands of nodes) without paying for lanes
+// the workload never touches — asserted here at both the LaneTable unit
+// level and through a real Machine run.
+#include "sim/lane.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "udweave/context.hpp"
+
+namespace updown {
+namespace {
+
+constexpr std::uint64_t kSp = 64 * 1024;
+
+// ---------------------------------------------------------------------------
+// Lazy materialization.
+// ---------------------------------------------------------------------------
+
+TEST(LaneTable, ConstructionMaterializesNothing) {
+  // A paper-scale lane count is constructible because idle lanes cost flat
+  // words plus a null core pointer, not a scratchpad + context table.
+  LaneTable t(1u << 20, 1u << 14, kSp);
+  EXPECT_EQ(t.size(), 1u << 20);
+  EXPECT_EQ(t.materialized_cores(), 0u);
+  for (NetworkId id : {0u, 12345u, (1u << 20) - 1}) EXPECT_EQ(t.core_if(id), nullptr);
+}
+
+TEST(LaneTable, FirstTouchMaterializesOnlyThatLane) {
+  LaneTable t(64, 16, kSp);
+  Lane lane(t, 7);
+  lane.stats().events_executed++;  // any cold-state touch
+  EXPECT_EQ(t.materialized_cores(), 1u);
+  EXPECT_NE(t.core_if(7), nullptr);
+  EXPECT_EQ(t.core_if(6), nullptr);
+  EXPECT_EQ(t.core_if(8), nullptr);
+}
+
+TEST(LaneTable, HotWordsNeverMaterializeACore) {
+  LaneTable t(8, 16, kSp);
+  Lane lane(t, 3);
+  lane.set_free_at(100);
+  EXPECT_EQ(lane.free_at(), 100u);
+  EXPECT_EQ(lane.next_seq(), 0u);
+  EXPECT_EQ(lane.next_seq(), 1u);
+  EXPECT_EQ(lane.live_threads(), 0u);  // no-throw read through core_if
+  EXPECT_EQ(t.materialized_cores(), 0u);
+}
+
+TEST(LaneTable, SpAllocIsBookkeepingOnly) {
+  // spMalloc bumps the flat break against the configured capacity without
+  // touching (or creating) the backing store: KVMSR control traffic can
+  // reserve scratchpad on every lane of a huge machine for free.
+  LaneTable t(8, 16, kSp);
+  Lane lane(t, 2);
+  EXPECT_EQ(lane.sp_alloc(100), 0u);
+  EXPECT_EQ(lane.sp_alloc(8), 104u);  // previous break aligned up to 8
+  EXPECT_EQ(t.materialized_cores(), 0u);
+
+  // First data access materializes the core and the zero-filled backing.
+  std::uint8_t* sp = lane.scratchpad();
+  ASSERT_NE(sp, nullptr);
+  EXPECT_EQ(t.materialized_cores(), 1u);
+  ASSERT_NE(t.core_if(2), nullptr);
+  EXPECT_EQ(t.core_if(2)->scratchpad.size(), kSp);
+  for (std::uint64_t i = 0; i < kSp; i += 4097) EXPECT_EQ(sp[i], 0u);
+}
+
+TEST(LaneTable, MaterializeAllIsTheEagerLayout) {
+  LaneTable t(32, 16, kSp);
+  t.materialize_all();
+  EXPECT_EQ(t.materialized_cores(), 32u);
+  for (NetworkId id = 0; id < 32; ++id) {
+    ASSERT_NE(t.core_if(id), nullptr);
+    EXPECT_EQ(t.core_if(id)->scratchpad.size(), kSp);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scratchpad bump-allocator discipline.
+// ---------------------------------------------------------------------------
+
+TEST(LaneTable, SpAllocExhaustionNamesTheLane) {
+  LaneTable t(64, 16, kSp);
+  Lane lane(t, 42);
+  lane.sp_alloc(kSp);  // exactly full is fine
+  try {
+    lane.sp_alloc(1);
+    FAIL() << "expected scratchpad exhaustion";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "spMalloc: lane scratchpad exhausted (lane 42)");
+  }
+  // The failed allocation left the break untouched.
+  EXPECT_EQ(lane.sp_mark(), kSp);
+}
+
+TEST(LaneTable, SpReleaseRestoresTheMark) {
+  LaneTable t(4, 16, kSp);
+  Lane lane(t, 0);
+  const std::uint64_t mark = lane.sp_mark();
+  lane.sp_alloc(1000);
+  lane.sp_alloc(24);
+  lane.sp_release(mark);
+  EXPECT_EQ(lane.sp_mark(), 0u);
+  EXPECT_EQ(lane.sp_alloc(8), 0u);  // space is reusable
+}
+
+TEST(LaneTable, SpReleaseStaleMarkThrowsInDebug) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "stale-mark validation is compiled out in Release";
+#else
+  LaneTable t(4, 16, kSp);
+  Lane lane(t, 1);
+  lane.sp_alloc(64);
+  const std::uint64_t mark = lane.sp_mark();
+  lane.sp_release(0);  // pops everything...
+  EXPECT_THROW(lane.sp_release(mark), std::logic_error);  // ...mark is now stale
+#endif
+}
+
+TEST(LaneTable, SeededSpDiscipline) {
+  // Randomized mark/alloc/release against a reference bump-allocator model:
+  // offsets aligned as requested, break identical to the model after every
+  // operation, marks released in LIFO order always valid.
+  std::mt19937 rng(20260808);
+  LaneTable t(4, 16, kSp);
+  Lane lane(t, 3);
+  std::uint64_t model = 0;
+  std::vector<std::uint64_t> marks;
+  for (int step = 0; step < 5000; ++step) {
+    const int op = static_cast<int>(rng() % 10);
+    if (op < 6) {
+      const std::uint64_t bytes = rng() % 256 + 1;
+      const std::uint64_t align = 1ull << (rng() % 5);  // 1..16
+      const std::uint64_t off = (model + align - 1) & ~(align - 1);
+      if (off + bytes > kSp) {
+        EXPECT_THROW(lane.sp_alloc(bytes, align), std::runtime_error);
+      } else {
+        EXPECT_EQ(lane.sp_alloc(bytes, align), off);
+        EXPECT_EQ(off % align, 0u);
+        model = off + bytes;
+      }
+    } else if (op < 8) {
+      marks.push_back(lane.sp_mark());
+      EXPECT_EQ(marks.back(), model);
+    } else if (!marks.empty()) {
+      lane.sp_release(marks.back());
+      model = marks.back();
+      marks.pop_back();
+    }
+    EXPECT_EQ(lane.sp_mark(), model);
+  }
+  // The whole exercise was bookkeeping: still no backing store.
+  EXPECT_EQ(t.materialized_cores(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Machine-level laziness: a run that touches a few lanes materializes only
+// those lanes' cores, and reserving scratchpad via Ctx does not create a
+// backing store until data is actually read or written.
+// ---------------------------------------------------------------------------
+
+struct LazyApp {
+  EventLabel reserve, touch;
+};
+
+struct TLazy : ThreadState {
+  void reserve(Ctx& ctx) {
+    // spMalloc only: the lane's core materializes (a thread context lives
+    // in it) but the scratchpad backing must not.
+    ctx.sp_alloc(4096);
+    ctx.yield_terminate();
+  }
+  void touch(Ctx& ctx) {
+    const std::uint64_t off = ctx.sp_alloc(64);
+    ctx.sp_write(off, Word{0xBEEF});
+    ctx.yield_terminate();
+  }
+};
+
+TEST(LaneTableMachine, RunMaterializesOnlyTouchedLanes) {
+  Machine m(MachineConfig::scaled(2));  // 64 lanes across 2 nodes
+  auto& app = m.emplace_user<LazyApp>();
+  app.reserve = m.program().event("TLazy::reserve", &TLazy::reserve);
+  app.touch = m.program().event("TLazy::touch", &TLazy::touch);
+
+  const LaneTable& lt = m.lane_table();
+  EXPECT_EQ(lt.materialized_cores(), 0u);
+
+  m.send_from_host(evw::make_new(0, app.reserve), {});
+  m.send_from_host(evw::make_new(5, app.touch), {});
+  m.run();
+
+  // Exactly the two addressed lanes have cores; everything else is idle.
+  EXPECT_EQ(lt.materialized_cores(), 2u);
+  ASSERT_NE(lt.core_if(0), nullptr);
+  ASSERT_NE(lt.core_if(5), nullptr);
+  EXPECT_EQ(lt.core_if(1), nullptr);
+  EXPECT_EQ(lt.core_if(63), nullptr);
+
+  // Lane 0 reserved scratchpad but never touched it: no backing. Lane 5
+  // wrote a word: full backing.
+  EXPECT_EQ(lt.core_if(0)->scratchpad.size(), 0u);
+  EXPECT_EQ(lt.core_if(5)->scratchpad.size(), m.config().scratchpad_bytes);
+}
+
+}  // namespace
+}  // namespace updown

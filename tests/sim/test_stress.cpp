@@ -43,7 +43,7 @@ class ShardsGuard {
 TEST(Stress, ScratchpadBumpAllocatorExhausts) {
   ShardsGuard g("1");
   Machine m(MachineConfig::scaled(1));
-  Lane& lane = m.lane(0);
+  Lane lane = m.lane(0);
   const std::uint64_t cap = lane.scratchpad_bytes();
   const std::uint64_t mark = lane.sp_mark();
   // Fill in 1 KiB steps, then one more byte must throw the exact message
@@ -53,7 +53,7 @@ TEST(Stress, ScratchpadBumpAllocatorExhausts) {
     lane.sp_alloc(1024);
     FAIL() << "expected scratchpad exhaustion";
   } catch (const std::runtime_error& e) {
-    EXPECT_STREQ(e.what(), "spMalloc: lane scratchpad exhausted");
+    EXPECT_STREQ(e.what(), "spMalloc: lane scratchpad exhausted (lane 0)");
   }
   // sp_release unwinds the bump pointer: the lane is reusable afterwards.
   lane.sp_release(mark);
@@ -84,7 +84,7 @@ TEST(Stress, ScratchpadExhaustionSurfacesFromShardedRun) {
     m.run();
     FAIL() << "expected scratchpad exhaustion out of run()";
   } catch (const std::runtime_error& e) {
-    EXPECT_STREQ(e.what(), "spMalloc: lane scratchpad exhausted");
+    EXPECT_STREQ(e.what(), "spMalloc: lane scratchpad exhausted (lane 32)");
   }
 }
 
@@ -127,7 +127,7 @@ TEST(Stress, RecycledContextsNeverExhaust) {
   MachineConfig cfg = MachineConfig::scaled(1);
   cfg.max_threads_per_lane = 4;
   Machine m(cfg);
-  Lane& lane = m.lane(0);
+  Lane lane = m.lane(0);
   // allocate/deallocate cycles far beyond the table size: recycling through
   // free_tids_ and the per-class state cache must never hit the limit.
   for (int round = 0; round < 1000; ++round) {
