@@ -12,6 +12,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <thread>
 
 #include "common/bits.hpp"
@@ -161,6 +162,7 @@ struct ThroughputResult {
   EngineStats engine;
   std::uint64_t max_queue_depth = 0;
   bool checker_enabled = false;
+  std::uint64_t shadow_peak_bytes = 0;  ///< udcheck shadow-memory high-water mark
 };
 
 ThroughputResult run_throughput_workload(bool check = false, std::uint32_t shards = 1) {
@@ -199,6 +201,7 @@ ThroughputResult run_throughput_workload(bool check = false, std::uint32_t shard
   r.engine = m.engine_stats();
   r.max_queue_depth = m.stats().max_queue_depth;
   r.checker_enabled = m.stats().check.enabled;  // env UD_CHECK=1 can force it on
+  r.shadow_peak_bytes = m.stats().check.shadow_peak_bytes;
   return r;
 }
 
@@ -207,8 +210,14 @@ ThroughputResult run_throughput_workload(bool check = false, std::uint32_t shard
 /// disabled-checker path stays within 2% of this on comparable hardware;
 /// absolute events/s varies across machines, so the hard failure is opt-in
 /// via UD_BENCH_ENFORCE=1 (set it when running on the reference box).
+/// UD_BENCH_ENFORCE=ratios enforces only the box-independent gates below
+/// (checker-cost ceiling, shard-speedup floor) — that is what CI sets.
 constexpr double kBaselineEventsPerSec = 11018594.0;
 constexpr double kMaxCheckerOffRegressPct = 2.0;
+/// Ceiling on the serial checker's throughput cost. The epoch/flat-shadow
+/// rewrite brought it down from ~75% (sparse vector clocks + hashed shadow
+/// maps); the gate keeps it from creeping back up.
+constexpr double kMaxCheckerCostPct = 40.0;
 
 int throughput_report() {
   // Best of five: wall-clock noise rejection, standard for host-side timing.
@@ -218,11 +227,20 @@ int throughput_report() {
     ThroughputResult r = run_throughput_workload();
     if (r.events_per_sec > best.events_per_sec) best = r;
   }
-  // Checked-mode throughput (informative): the same workload under UD_CHECK.
-  ThroughputResult checked;
-  for (int i = 0; i < 3; ++i) {
+  // Checked-mode throughput: the same workload under UD_CHECK, serial and at
+  // 4 shards (the sharded path defers checking to a window-boundary replay on
+  // shard 0, so its cost profile is distinct from the inline serial path).
+  // Same rep count as the unchecked baseline: an asymmetric best-of biases
+  // the cost ratio upward on a noisy box (more chances to catch a fast
+  // baseline run than a fast checked run).
+  ThroughputResult checked, checked4;
+  for (int i = 0; i < kReps; ++i) {
     ThroughputResult r = run_throughput_workload(/*check=*/true);
     if (r.events_per_sec > checked.events_per_sec) checked = r;
+  }
+  for (int i = 0; i < kReps; ++i) {
+    ThroughputResult r = run_throughput_workload(/*check=*/true, /*shards=*/4);
+    if (r.events_per_sec > checked4.events_per_sec) checked4 = r;
   }
 
   // Shard sweep: the same workload on 1/2/4/8 host threads. The event engine
@@ -254,11 +272,34 @@ int throughput_report() {
                               ? sweep[2].events_per_sec / sweep[0].events_per_sec
                               : 0.0;
 
+  // Checked runs must reproduce the unchecked schedule exactly, at any shard
+  // count: checking observes, it never perturbs.
+  bool checked_counts_ok = true;
+  for (const ThroughputResult* c : {&checked, &checked4}) {
+    if (c->events != best.events || c->messages != best.messages ||
+        c->dram_accesses != best.dram_accesses || c->final_tick != best.final_tick) {
+      checked_counts_ok = false;
+      std::fprintf(stderr,
+                   "micro_sim: FAIL: checked run diverged from unchecked: events %llu "
+                   "vs %llu, final tick %llu vs %llu\n",
+                   (unsigned long long)c->events, (unsigned long long)best.events,
+                   (unsigned long long)c->final_tick,
+                   (unsigned long long)best.final_tick);
+    }
+  }
+
   const double vs_baseline_pct =
       (kBaselineEventsPerSec - best.events_per_sec) / kBaselineEventsPerSec * 100.0;
   const double checker_cost_pct =
       best.events_per_sec > 0
           ? (best.events_per_sec - checked.events_per_sec) / best.events_per_sec * 100.0
+          : 0.0;
+  // Cost of checking at 4 shards, against the unchecked 4-shard run (both
+  // sides use the same engine configuration, so this isolates the checker).
+  const double checker_cost_pct_4shards =
+      sweep[2].events_per_sec > 0
+          ? (sweep[2].events_per_sec - checked4.events_per_sec) /
+                sweep[2].events_per_sec * 100.0
           : 0.0;
 
   std::printf("\n=== micro_sim host throughput ===\n");
@@ -268,6 +309,10 @@ int throughput_report() {
               best.checker_enabled ? "  (UD_CHECK forced on: not a baseline)" : "");
   std::printf("events / second (UD_CHECK=1) %.0f  (checker cost %.1f%%)\n",
               checked.events_per_sec, checker_cost_pct);
+  std::printf("events / second (UD_CHECK=1, 4 shards) %.0f  (checker cost %.1f%%)\n",
+              checked4.events_per_sec, checker_cost_pct_4shards);
+  std::printf("shadow peak bytes     %llu\n",
+              (unsigned long long)checked.shadow_peak_bytes);
   std::printf("vs PR-1 baseline      %+.2f%% (baseline %.0f ev/s, limit %.1f%%)\n",
               -vs_baseline_pct, kBaselineEventsPerSec, kMaxCheckerOffRegressPct);
   std::printf("final simulated tick  %llu\n", (unsigned long long)best.final_tick);
@@ -298,6 +343,9 @@ int throughput_report() {
                "  \"events_per_sec\": %.0f,\n"
                "  \"events_per_sec_checked\": %.0f,\n"
                "  \"checker_cost_pct\": %.2f,\n"
+               "  \"events_per_sec_checked_4shards\": %.0f,\n"
+               "  \"checker_cost_pct_4shards\": %.2f,\n"
+               "  \"shadow_peak_bytes\": %llu,\n"
                "  \"baseline_events_per_sec\": %.0f,\n"
                "  \"vs_baseline_regress_pct\": %.2f,\n"
                "  \"max_queue_depth\": %llu,\n"
@@ -311,7 +359,9 @@ int throughput_report() {
                kReps, (unsigned long long)best.events, (unsigned long long)best.messages,
                (unsigned long long)best.dram_accesses, (unsigned long long)best.final_tick,
                best.wall_seconds, best.events_per_sec, checked.events_per_sec,
-               checker_cost_pct, kBaselineEventsPerSec, vs_baseline_pct,
+               checker_cost_pct, checked4.events_per_sec, checker_cost_pct_4shards,
+               (unsigned long long)checked.shadow_peak_bytes,
+               kBaselineEventsPerSec, vs_baseline_pct,
                (unsigned long long)best.max_queue_depth,
                (unsigned long long)best.engine.far_events,
                (unsigned long long)best.engine.bucket_sorts, best.engine.msg_pool_capacity,
@@ -327,22 +377,34 @@ int throughput_report() {
   std::fprintf(f,
                "  ],\n"
                "  \"speedup_4_shards\": %.3f,\n"
-               "  \"shard_counts_identical\": %s\n"
+               "  \"shard_counts_identical\": %s,\n"
+               "  \"checked_counts_identical\": %s\n"
                "}\n",
-               speedup4, sweep_counts_ok ? "true" : "false");
+               speedup4, sweep_counts_ok ? "true" : "false",
+               checked_counts_ok ? "true" : "false");
   std::fclose(f);
   std::printf("wrote BENCH_micro_sim.json\n");
 
-  if (!sweep_counts_ok) return 1;  // sharded schedule diverged: always fatal
+  if (!sweep_counts_ok) return 1;    // sharded schedule diverged: always fatal
+  if (!checked_counts_ok) return 1;  // checking perturbed the run: always fatal
   // The throughput floors only bind trace-off runs: UD_TRACE adds real
   // per-event bookkeeping by design, so a traced run is never a baseline.
   // (CI's udtrace smoke job runs with UD_TRACE set and must not trip them.)
   const char* trace_env = std::getenv("UD_TRACE");
   const bool tracing = trace_env && *trace_env;
-  if (tracing && std::getenv("UD_BENCH_ENFORCE"))
+  // Two enforcement tiers: "ratios" binds only box-independent checks (the
+  // checker-cost ceiling and the shard-speedup floor), anything else binds
+  // the absolute events/s floor too. The absolute floor compares against the
+  // reference box and trips on any slower machine, so CI runners use
+  // UD_BENCH_ENFORCE=ratios.
+  const char* enforce_env = std::getenv("UD_BENCH_ENFORCE");
+  const bool enforce_ratios = enforce_env != nullptr;
+  const bool enforce_absolute =
+      enforce_env != nullptr && std::string(enforce_env) != "ratios";
+  if (tracing && enforce_ratios)
     std::printf("UD_TRACE is set: skipping UD_BENCH_ENFORCE throughput floors "
                 "(trace-on runs are not baselines)\n");
-  if (!tracing && std::getenv("UD_BENCH_ENFORCE") && !best.checker_enabled &&
+  if (!tracing && enforce_absolute && !best.checker_enabled &&
       vs_baseline_pct > kMaxCheckerOffRegressPct) {
     std::fprintf(stderr,
                  "micro_sim: FAIL: checker-off throughput %.0f ev/s is %.2f%% below "
@@ -351,11 +413,20 @@ int throughput_report() {
                  kMaxCheckerOffRegressPct);
     return 1;
   }
-  if (!tracing && std::getenv("UD_BENCH_ENFORCE") && !best.checker_enabled &&
+  if (!tracing && enforce_ratios && !best.checker_enabled &&
       std::thread::hardware_concurrency() >= 4 && speedup4 < 1.5) {
     std::fprintf(stderr,
                  "micro_sim: FAIL: 4-shard speedup %.2fx is below the 1.5x floor\n",
                  speedup4);
+    return 1;
+  }
+  if (!tracing && enforce_ratios && !best.checker_enabled &&
+      checker_cost_pct > kMaxCheckerCostPct) {
+    std::fprintf(stderr,
+                 "micro_sim: FAIL: checker cost %.1f%% exceeds the %.0f%% ceiling "
+                 "(%.0f ev/s unchecked vs %.0f ev/s checked)\n",
+                 checker_cost_pct, kMaxCheckerCostPct, best.events_per_sec,
+                 checked.events_per_sec);
     return 1;
   }
   return 0;

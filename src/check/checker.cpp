@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <tuple>
 
 #include "common/strfmt.hpp"
 #include "sim/machine.hpp"
@@ -31,11 +32,13 @@ const char* check_kind_name(CheckKind k) {
   return "unknown";
 }
 
-Checker::Checker(Machine& m, bool sp_strict) : m_(m), sp_strict_(sp_strict) {
-  // slot_lt_ grows on demand (see slot_lifetime): like the engine's lane
-  // table, the shadow state is index-addressed but materializes only for
-  // lanes that actually run threads.
+Checker::Checker(Machine& m, bool sp_strict, std::uint32_t nshards)
+    : m_(m), sp_strict_(sp_strict), nshards_(nshards) {
+  // slot_lt_ / sp_shadow_ grow on demand (see slot_lifetime, sp_cell): like
+  // the engine's lane table, the shadow state is index-addressed but
+  // materializes only for lanes that actually run threads.
   lifetimes_.emplace_back();  // [0] = the host (TOP core), alive forever
+  logs_.resize(nshards_);
 }
 
 Checker::~Checker() = default;
@@ -54,48 +57,88 @@ bool Checker::prunable(LifetimeId lt) const {
   return !l.alive && l.refs == 0;
 }
 
-bool Checker::ordered(const Stamp& a, LifetimeId lt, const VC& vc) const {
-  if (a.era < era_) return true;  // a full drain is a global barrier
-  if (a.lt == lt) return true;    // same lifetime: lane-serialized chain
-  return vc_get(vc, a.lt) >= a.epoch;
+bool Checker::dead_entry(const VCEntry& e) const {
+  if (e.lt == kHostLifetime) return false;
+  const Lifetime& l = lifetimes_[e.lt];
+  // Dead+unreferenced: no stamp of this occupancy can ever be compared again
+  // (stamps hold refs). Below base_epoch: the entry belongs to an earlier
+  // occupancy of a recycled id, and every stamp of the current occupancy has
+  // an epoch at or above base_epoch — the entry can only under-order, so
+  // dropping it is sound (conservative).
+  return (!l.alive && l.refs == 0) || e.epoch < l.base_epoch;
 }
 
-bool Checker::merge_vc(VC& dst, const VC& src, LifetimeId self) {
-  bool changed = false;
-  VC out;
-  out.reserve(dst.size() + src.size());
-  auto i = dst.begin();
-  auto j = src.begin();
-  while (i != dst.end() || j != src.end()) {
-    if (j == src.end() || (i != dst.end() && i->lt < j->lt)) {
-      // Merges double as the pruning pass: entries for dead lifetimes with
-      // no outstanding stamps can never be compared again.
-      if (prunable(i->lt)) changed = true;
-      else out.push_back(*i);
+bool Checker::ordered(const Stamp& a, LifetimeId lt, const ClockView& view) const {
+  if (a.era < era_) return true;  // a full drain is a global barrier
+  if (a.lt == lt) return true;    // same lifetime: lane-serialized chain
+  // Host-chain knowledge lives in a dedicated scalar (VCs never hold host
+  // entries — see Lifetime::host_ep).
+  if (a.lt == kHostLifetime) return view.host_ep >= a.epoch;
+  // The FastTrack inline entries next: the observer's most recent acquires
+  // are by far the likeliest entries to order against. A stale inline entry
+  // (an earlier occupancy of a recycled id) cannot falsely order: any
+  // comparable stamp of the current occupancy sits at or above base_epoch,
+  // which exceeds the stale epoch.
+  if (view.ext.e1.lt == a.lt && view.ext.e1.epoch >= a.epoch) return true;
+  if (view.ext.e0.lt == a.lt && view.ext.e0.epoch >= a.epoch) return true;
+  return vc_get(*view.vc, a.lt) >= a.epoch;
+}
+
+bool Checker::merge_would_change(const VC& dst, const VC& src, LifetimeId self) const {
+  // Scan-only (no allocation): would the merge change dst at all? Clocks on
+  // the hot path are 1-3 entries and usually already absorbed, so the common
+  // case is a short scan and an early return.
+  auto i = dst.cbegin();
+  auto j = src.cbegin();
+  while (i != dst.cend() || j != src.cend()) {
+    if (j == src.cend() || (i != dst.cend() && i->lt < j->lt)) {
+      if (dead_entry(*i)) return true;
       ++i;
-    } else if (i == dst.end() || j->lt < i->lt) {
-      if (j->lt != self && !prunable(j->lt)) {
-        out.push_back(*j);
-        changed = true;
-      }
+    } else if (i == dst.cend() || j->lt < i->lt) {
+      if (j->lt != self && !dead_entry(*j)) return true;
       ++j;
     } else {
-      if (prunable(i->lt)) {
-        changed = true;
-      } else {
-        VCEntry e = *i;
-        if (j->epoch > e.epoch) {
-          e.epoch = j->epoch;
-          changed = true;
-        }
-        out.push_back(e);
-      }
+      if (dead_entry(*i) || j->epoch > i->epoch) return true;
       ++i;
       ++j;
     }
   }
-  if (changed) dst = std::move(out);
-  return changed;
+  return false;
+}
+
+void Checker::merge_build(VC& out, const VC& dst, const VC& src, LifetimeId self) const {
+  auto i = dst.cbegin();
+  auto j = src.cbegin();
+  while (i != dst.cend() || j != src.cend()) {
+    if (j == src.cend() || (i != dst.cend() && i->lt < j->lt)) {
+      // Merges double as the pruning pass: dead/stale entries can never be
+      // compared again.
+      if (!dead_entry(*i)) out.push_back(*i);
+      ++i;
+    } else if (i == dst.cend() || j->lt < i->lt) {
+      if (j->lt != self && !dead_entry(*j)) out.push_back(*j);
+      ++j;
+    } else {
+      // Deadness is per-entry, not per-id: a recycled id can pair a stale
+      // old-occupancy entry (epoch < base_epoch) in dst with a live
+      // current-occupancy entry in src. Judge the max-epoch winner, so a
+      // stale loser never drags a live entry down with it.
+      VCEntry e = *i;
+      if (j->epoch > e.epoch) e.epoch = j->epoch;
+      if (!dead_entry(e)) out.push_back(e);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+bool Checker::merge_vc(VC& dst, const VC& src, LifetimeId self) {
+  if (!merge_would_change(dst, src, self)) return false;
+  scratch_vc_.clear();
+  scratch_vc_.reserve(dst.size() + src.size());
+  merge_build(scratch_vc_, dst, src, self);
+  dst.swap(scratch_vc_);  // dst keeps the result; scratch keeps dst's buffer
+  return true;
 }
 
 bool Checker::vc_upsert(VC& vc, LifetimeId lt, std::uint32_t epoch) {
@@ -112,19 +155,168 @@ bool Checker::vc_upsert(VC& vc, LifetimeId lt, std::uint32_t epoch) {
   return false;
 }
 
-void Checker::join_into(LifetimeId dst_id, const Snapshot& snap, const Stamp& src) {
-  Lifetime& dst = lifetimes_[dst_id];
-  bool changed = false;
-  if (snap && !snap->empty()) changed = merge_vc(dst.vc, *snap, dst_id);
-  if (src.lt != dst_id && src.lt != kNoLifetime && !prunable(src.lt))
-    changed |= vc_upsert(dst.vc, src.lt, src.epoch);
-  if (changed) dst.snap.reset();
+// ---- Snapshot pool ---------------------------------------------------------
+
+const Checker::VC& Checker::snap_vc(SnapId id) const {
+  static const VC kEmptyVC;
+  return id == kNoSnap ? kEmptyVC : snap_pool_[id].vc;
 }
 
-const Checker::Snapshot& Checker::snapshot_of(LifetimeId lt) {
-  Lifetime& l = lifetimes_[lt];
-  if (!l.snap) l.snap = std::make_shared<const VC>(l.vc);
-  return l.snap;
+void Checker::snap_ref(SnapId id) {
+  if (id != kNoSnap) ++snap_pool_[id].refs;
+}
+
+void Checker::snap_unref(SnapId id) {
+  if (id == kNoSnap) return;
+  SnapSlot& s = snap_pool_[id];
+  if (s.refs > 0 && --s.refs == 0) {
+    s.vc.clear();  // capacity is retained for the slot's next tenancy
+    snap_free_.push_back(id);
+  }
+}
+
+Checker::SnapId Checker::snap_new() {
+  if (!snap_free_.empty()) {
+    const SnapId id = snap_free_.back();
+    snap_free_.pop_back();
+    snap_pool_[id].refs = 1;
+    return id;
+  }
+  snap_pool_.emplace_back();
+  snap_pool_.back().refs = 1;
+  return static_cast<SnapId>(snap_pool_.size() - 1);
+}
+
+void Checker::snap_clear(SnapId& slot) {
+  snap_unref(slot);
+  slot = kNoSnap;
+}
+
+void Checker::snap_assign(SnapId& slot, SnapId v) {
+  snap_ref(v);
+  snap_unref(slot);
+  slot = v;
+}
+
+void Checker::clock_join(LifetimeId lt_id, const VC& src, const Stamp* stamp) {
+  Lifetime& l = lifetimes_[lt_id];
+  const VC& cur = snap_vc(l.clock);
+  const bool up = stamp != nullptr && stamp->lt != lt_id && stamp->lt != kNoLifetime &&
+                  !prunable(stamp->lt) && vc_get(cur, stamp->lt) < stamp->epoch;
+  if (!up && !merge_would_change(cur, src, lt_id)) return;
+  // Build the merged clock in the scratch buffer *before* snap_new: `cur` and
+  // `src` may point into snap_pool_, which snap_new can reallocate.
+  scratch_vc_.clear();
+  scratch_vc_.reserve(cur.size() + src.size() + 1);
+  merge_build(scratch_vc_, cur, src, lt_id);
+  if (up) vc_upsert(scratch_vc_, stamp->lt, stamp->epoch);
+  const SnapId ns = snap_new();
+  snap_pool_[ns].vc.swap(scratch_vc_);  // scratch inherits the slot's old buffer
+  snap_unref(l.clock);
+  l.clock = ns;
+}
+
+void Checker::absorb(LifetimeId dst_id, VCEntry e) {
+  if (e.lt == dst_id || e.lt == kNoLifetime) return;
+  Lifetime& l = lifetimes_[dst_id];
+  if (e.lt == kHostLifetime) {  // host chain: the dedicated scalar, never a VC
+    if (e.epoch > l.host_ep) l.host_ep = e.epoch;
+    return;
+  }
+  if (dead_entry(e)) return;
+  if (l.last.e1.lt == e.lt) {  // repeat sender: bump the inline entry in place
+    if (e.epoch > l.last.e1.epoch) l.last.e1.epoch = e.epoch;
+    return;
+  }
+  if (l.last.e0.lt == e.lt) {
+    if (e.epoch > l.last.e0.epoch) l.last.e0.epoch = e.epoch;
+    return;
+  }
+  if (l.last.e1.lt == kNoLifetime || dead_entry(l.last.e1)) {
+    l.last.e1 = e;
+    return;
+  }
+  if (l.last.e0.lt == kNoLifetime || dead_entry(l.last.e0)) {
+    // Keep recency order: e1 is the newer acquire, so the incoming entry
+    // takes e1 and the survivor moves down to e0.
+    l.last.e0 = l.last.e1;
+    l.last.e1 = e;
+    return;
+  }
+  if (vc_get(snap_vc(l.clock), e.lt) >= e.epoch) return;  // already known
+  // Genuine fan-in: a third live concurrent edge. Spill the oldest inline
+  // entry into the pooled clock and keep the two most recent inline (the
+  // most recent acquires are the likeliest to repeat).
+  const VCEntry spill = l.last.e0;
+  l.last.e0 = l.last.e1;
+  l.last.e1 = e;
+  if (l.clock != kNoSnap && snap_pool_[l.clock].refs == 1) {
+    // The slot is exclusively ours (no snapshot pinned): upsert in place
+    // instead of rebuilding. A chain of single-successor threads then reuses
+    // one slot for its whole length, one sorted insert per spill. Dead-entry
+    // pruning (a rebuild side effect) is amortized explicitly.
+    VC& vc = snap_pool_[l.clock].vc;
+    // Prune exactly when the buffer is about to grow: amortized O(1) per
+    // spill, and a successful prune avoids the reallocation outright.
+    if (vc.size() == vc.capacity() && !vc.empty()) prune_dead(vc);
+    vc_upsert(vc, spill.lt, spill.epoch);
+    return;
+  }
+  Stamp s;
+  s.lt = spill.lt;
+  s.epoch = spill.epoch;
+  clock_join(dst_id, snap_vc(kNoSnap), &s);
+}
+
+void Checker::prune_dead(VC& vc) const {
+  vc.erase(std::remove_if(vc.begin(), vc.end(),
+                          [this](const VCEntry& e) { return dead_entry(e); }),
+           vc.end());
+}
+
+void Checker::join_into(LifetimeId dst_id, SnapId snap, const InlineVC& ext,
+                        std::uint32_t host_ep, const Stamp& src) {
+  // `snap` arrives OWNED: the caller's pool ref transfers here, and this
+  // function either keeps it (adoption) or releases it.
+  Lifetime& l = lifetimes_[dst_id];
+  const bool fresh = l.clock == kNoSnap && l.last.e1.lt == kNoLifetime;
+  const VC& sv = snap_vc(snap);
+  if (sv.empty() || snap == l.clock) {
+    snap_unref(snap);  // nothing to learn (or a self round trip)
+  } else if (l.clock == kNoSnap) {
+    // Fresh receiver (the dominant case: a task spawned into a brand-new
+    // thread context): adopt the sender's snapshot, inheriting the caller's
+    // ref. No scan, no copy, no allocation — and if no other snapshot pins
+    // the slot, later spills may extend it in place (see absorb).
+    l.clock = snap;
+  } else {
+    clock_join(dst_id, sv, nullptr);
+    snap_unref(snap);
+  }
+  if (host_ep > l.host_ep) l.host_ep = host_ep;
+  if (fresh) {
+    // A never-written inline window can take the sender's verbatim: it is
+    // already deduped and host-free (absorb maintains both invariants), and
+    // every claim in it transfers transitively through this message. Stale
+    // entries it may carry are vacuous (epoch < that slot's base_epoch), so
+    // skipping the per-entry deadness probe here trades two random Lifetime
+    // loads per message for nothing but slot hygiene.
+    l.last = ext;
+  } else {
+    // Oldest to newest, so absorb's spill policy keeps the freshest inline.
+    if (ext.e0.lt != kNoLifetime) absorb(dst_id, ext.e0);
+    if (ext.e1.lt != kNoLifetime) absorb(dst_id, ext.e1);
+  }
+  if (src.lt != kNoLifetime && !prunable(src.lt))
+    absorb(dst_id, VCEntry{src.lt, src.epoch});
+}
+
+Checker::SnapId Checker::clock_snapshot(LifetimeId lt) {
+  // Clocks are immutable pool slots, so "snapshotting" a sender's clock for a
+  // message in flight is a refcount bump — no copy, no allocation.
+  const SnapId id = lifetimes_[lt].clock;
+  snap_ref(id);
+  return id;
 }
 
 void Checker::stamp_ref(LifetimeId lt) {
@@ -132,7 +324,10 @@ void Checker::stamp_ref(LifetimeId lt) {
 }
 
 void Checker::stamp_unref(LifetimeId lt) {
-  if (lt != kHostLifetime && lt != kNoLifetime) --lifetimes_[lt].refs;
+  if (lt == kHostLifetime || lt == kNoLifetime) return;
+  Lifetime& l = lifetimes_[lt];
+  if (l.refs > 0 && --l.refs == 0 && !l.alive && !l.retired)
+    retire(lt);
 }
 
 void Checker::set_stamp(Stamp& slot, const Stamp& s) {
@@ -141,32 +336,116 @@ void Checker::set_stamp(Stamp& slot, const Stamp& s) {
   slot = s;
 }
 
-void Checker::add_reader(ShadowCell& cell, const Stamp& s) {
-  for (Stamp& r : cell.readers) {
-    if (r.lt == s.lt) {  // same chain: the newer epoch supersedes
+void Checker::add_reader(ShadowCell& cell, const Stamp& s, const ClockView& view) {
+  if (cell.read0.lt == s.lt) {  // same chain: the newer epoch supersedes
+    cell.read0 = s;
+    return;
+  }
+  if (cell.read0.lt == kNoLifetime) {
+    stamp_ref(s.lt);
+    cell.read0 = s;
+    return;
+  }
+  if (cell.overflow == kNoOverflow) {
+    // If the resident reader happens-before the new one, the new reader
+    // supersedes it: any later write ordered after the new reader is ordered
+    // after the old one too (transitivity), so no race is lost.
+    if (ordered(cell.read0, s.lt, view)) {
+      set_stamp(cell.read0, s);
+      return;
+    }
+    // Genuinely concurrent second reader: promote to a pooled overflow list.
+    std::uint32_t slot;
+    if (!reader_pool_free_.empty()) {
+      slot = reader_pool_free_.back();
+      reader_pool_free_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(reader_pool_.size());
+      reader_pool_.emplace_back();
+      note_shadow_bytes(kMaxReaders * sizeof(Stamp));
+    }
+    cell.overflow = slot;
+    auto& rs = reader_pool_[slot];
+    rs.clear();
+    stamp_ref(s.lt);
+    rs.push_back(s);
+    return;
+  }
+  auto& rs = reader_pool_[cell.overflow];
+  for (Stamp& r : rs) {
+    if (r.lt == s.lt) {
       r = s;
       return;
     }
   }
-  if (cell.readers.size() >= kMaxReaders) {
-    stamp_unref(cell.readers.front().lt);
-    cell.readers.erase(cell.readers.begin());
+  if (1 + rs.size() >= kMaxReaders) {
+    stamp_unref(rs.front().lt);
+    rs.erase(rs.begin());
   }
   stamp_ref(s.lt);
-  cell.readers.push_back(s);
+  rs.push_back(s);
+}
+
+void Checker::clear_readers(ShadowCell& cell) {
+  if (cell.read0.lt != kNoLifetime) {
+    stamp_unref(cell.read0.lt);
+    cell.read0.lt = kNoLifetime;
+  }
+  if (cell.overflow != kNoOverflow) {
+    auto& rs = reader_pool_[cell.overflow];
+    for (const Stamp& r : rs) stamp_unref(r.lt);
+    rs.clear();
+    reader_pool_free_.push_back(cell.overflow);
+    cell.overflow = kNoOverflow;
+  }
 }
 
 // ---- Lifetimes -------------------------------------------------------------
 
 Checker::LifetimeId Checker::new_lifetime(NetworkId nwid, ThreadId tid, EventLabel label,
                                           Tick t) {
-  lifetimes_.emplace_back();
-  Lifetime& l = lifetimes_.back();
+  LifetimeId id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    lifetimes_.emplace_back();
+    id = static_cast<LifetimeId>(lifetimes_.size() - 1);
+  }
+  Lifetime& l = lifetimes_[id];
+  // epoch and base_epoch continue across occupancies: every stamp of this
+  // occupancy sits at or above base_epoch, which is what keeps un-refcounted
+  // clock entries from earlier occupancies recognizably stale.
+  snap_clear(l.clock);
+  l.last = InlineVC{};
+  l.host_ep = 0;
+  l.refs = 0;
+  l.alive = true;
+  l.retired = false;
   l.nwid = nwid;
   l.tid = tid;
   l.create_label = label;
   l.created_at = t;
-  return static_cast<LifetimeId>(lifetimes_.size() - 1);
+  l.create_seq = ++create_seq_;
+  return id;
+}
+
+void Checker::retire(LifetimeId lt) {
+  Lifetime& l = lifetimes_[lt];
+  l.base_epoch = l.epoch;
+  snap_clear(l.clock);
+  if (l.nwid < slot_lt_.size()) {
+    auto& v = slot_lt_[l.nwid];
+    if (l.tid < v.size() && v[l.tid] == lt) v[l.tid] = kNoLifetime;
+  }
+  l.retired = true;
+  free_ids_.push_back(lt);
+}
+
+void Checker::maybe_retire(LifetimeId lt) {
+  if (lt == kHostLifetime || lt == kNoLifetime) return;
+  Lifetime& l = lifetimes_[lt];
+  if (!l.alive && l.refs == 0 && !l.retired) retire(lt);
 }
 
 Checker::LifetimeId& Checker::slot_lifetime(NetworkId nwid, ThreadId tid) {
@@ -182,6 +461,35 @@ bool Checker::slot_alive(NetworkId nwid, ThreadId tid) const {
   if (tid >= v.size()) return false;
   const LifetimeId lt = v[tid];
   return lt != kNoLifetime && lifetimes_[lt].alive;
+}
+
+// ---- Shadow memory ---------------------------------------------------------
+
+void Checker::note_shadow_bytes(std::uint64_t bytes) {
+  shadow_bytes_ += bytes;
+  if (shadow_bytes_ > shadow_peak_bytes_) shadow_peak_bytes_ = shadow_bytes_;
+}
+
+Checker::ShadowPage& Checker::dram_page(std::uint64_t page) {
+  if (page >= dram_shadow_.size()) dram_shadow_.resize(page + 1);
+  auto& p = dram_shadow_[page];
+  if (!p) {
+    p = std::make_unique<ShadowPage>();
+    note_shadow_bytes(sizeof(ShadowPage));
+  }
+  return *p;
+}
+
+Checker::ShadowCell& Checker::sp_cell(NetworkId lane, std::uint64_t word) {
+  if (lane >= sp_shadow_.size()) sp_shadow_.resize(static_cast<std::size_t>(lane) + 1);
+  auto& v = sp_shadow_[lane];
+  if (!v) {
+    const std::size_t nwords =
+        static_cast<std::size_t>(m_.config().scratchpad_bytes / 8);
+    v = std::make_unique<std::vector<ShadowCell>>(nwords);
+    note_shadow_bytes(nwords * sizeof(ShadowCell));
+  }
+  return (*v)[word];
 }
 
 // ---- Diagnostics -----------------------------------------------------------
@@ -219,6 +527,23 @@ Checker::DramMeta& Checker::dram_meta(std::uint32_t idx) {
   return dram_meta_[idx];
 }
 
+// ---- Meta lifecycle --------------------------------------------------------
+
+void Checker::acquire_msg_refs(MsgMeta& meta) {
+  stamp_ref(meta.stamp.lt);
+  stamp_ref(meta.target);
+  meta.holds_refs = true;
+}
+
+void Checker::release_msg_meta(MsgMeta& meta) {
+  if (meta.holds_refs) {
+    meta.holds_refs = false;
+    stamp_unref(meta.stamp.lt);
+    stamp_unref(meta.target);
+  }
+  snap_clear(meta.snap);
+}
+
 // ---- Continuation obligations ----------------------------------------------
 
 void Checker::register_cont(Word cont, NetworkId lane, Tick t) {
@@ -232,6 +557,7 @@ void Checker::register_cont(Word cont, NetworkId lane, Tick t) {
 }
 
 bool Checker::discharge_cont(Word w) {
+  if (pending_conts_.empty()) return false;  // hot path: no obligations open
   auto it = pending_conts_.find(w);
   if (it == pending_conts_.end()) return false;
   if (--it->second.count == 0) pending_conts_.erase(it);
@@ -240,9 +566,23 @@ bool Checker::discharge_cont(Word w) {
 
 // ---- Routing hooks ---------------------------------------------------------
 
-void Checker::on_host_send() { origin_ = Origin::kHost; }
+void Checker::on_host_send(Tick now, std::uint32_t ent, std::uint32_t seq) {
+  if (!deferred()) {
+    origin_ = Origin::kHost;
+    return;
+  }
+  // Host injections route from shard 0 while the engine is idle, so logging
+  // them under shard 0 keeps that log key-sorted: every event the run later
+  // executes arrives at least one network latency after `now`.
+  CheckRec r;
+  r.kind = CheckRec::kHostSend;
+  r.w[0] = now;
+  r.d = ent;
+  r.w[1] = seq;
+  logs_[0].push_back(r);
+}
 
-bool Checker::on_bad_route(Word evw_word, Tick depart) {
+void Checker::bad_route_diag(Word evw_word, Tick depart) {
   ++counts_.bad_event_words;
   Stamp s = origin_stamp_;
   s.tick = depart;
@@ -255,21 +595,35 @@ bool Checker::on_bad_route(Word evw_word, Tick depart) {
                static_cast<unsigned long long>(evw_word), evw::nwid(evw_word),
                static_cast<unsigned long long>(m_.config().total_lanes()),
                origin_ == Origin::kHost ? "the host" : where(s).c_str())});
+}
+
+bool Checker::on_bad_route(EngineShard& sh, Word evw_word, Tick depart) {
+  if (deferred()) {
+    CheckRec r;
+    r.kind = CheckRec::kBadRoute;
+    r.w[2] = evw_word;
+    r.w[0] = depart;
+    log_of(sh).push_back(r);
+    return true;
+  }
+  bad_route_diag(evw_word, depart);
   return true;
 }
 
-void Checker::on_route_message(std::uint32_t idx, Tick depart) {
-  MsgMeta& meta = msg_meta(idx);
-  const Message& m = m_.shard0().msg_pool[idx];
-  meta.target = kNoLifetime;
-  meta.from_dram = false;
-  meta.cont_pending = false;
-  meta.suppress = false;
+void Checker::route_message_m(MsgMeta& meta, const Message& m, Tick depart) {
+  // A fresh assignment (not a full release) on purpose: a stale slot left
+  // over from an aborted run may claim lifetime refs that were already
+  // reconciled — those leak conservatively until the next idle report instead
+  // of underflowing. Snap slots reconcile nowhere else, so drop theirs here.
+  snap_unref(meta.snap);
+  meta = MsgMeta{};
 
   switch (origin_) {
     case Origin::kDramReply:
       meta.stamp = origin_stamp_;
-      meta.snap = origin_snap_;
+      snap_assign(meta.snap, origin_snap_);
+      meta.ext = origin_ext_;
+      meta.host_ep = origin_host_ep_;
       meta.from_dram = true;
       meta.cont_pending = origin_cont_pending_;
       break;
@@ -278,8 +632,11 @@ void Checker::on_route_message(std::uint32_t idx, Tick depart) {
       meta.stamp = origin_stamp_;
       meta.stamp.epoch = l.epoch;
       meta.stamp.era = era_;
+      meta.stamp.shard = replay_shard_;
       meta.stamp.tick = depart;
-      meta.snap = snapshot_of(origin_stamp_.lt);
+      meta.snap = clock_snapshot(origin_stamp_.lt);
+      meta.ext = l.last;
+      meta.host_ep = l.host_ep;
       ++l.epoch;  // release: later accesses in this task are not covered
       break;
     }
@@ -287,8 +644,8 @@ void Checker::on_route_message(std::uint32_t idx, Tick depart) {
     case Origin::kNone:
     default: {
       Lifetime& h = lifetimes_[kHostLifetime];
-      meta.stamp = Stamp{kHostLifetime, h.epoch, era_, 0, depart};
-      meta.snap = snapshot_of(kHostLifetime);
+      meta.stamp = Stamp{kHostLifetime, h.epoch, era_, 0, replay_shard_, depart};
+      meta.snap = clock_snapshot(kHostLifetime);
       ++h.epoch;
       break;
     }
@@ -326,26 +683,35 @@ void Checker::on_route_message(std::uint32_t idx, Tick depart) {
       meta.target = slot_lt_[dst][tid];
     }
   }
+  acquire_msg_refs(meta);
 }
 
-void Checker::on_route_dram(std::uint32_t idx, bool addr_mapped, Tick depart) {
-  DramMeta& meta = dram_meta(idx);
-  const DramRequest& r = m_.shard0().dram_pool[idx];
+void Checker::on_route_message(std::uint32_t idx, Tick depart) {
+  route_message_m(msg_meta(idx), m_.shard0().msg_pool[idx], depart);
+}
+
+void Checker::route_dram_m(DramMeta& meta, const DramRequest& r, bool addr_mapped,
+                           Tick depart) {
+  snap_unref(meta.snap);  // see route_message_m: stale-slot conservatism
+  meta = DramMeta{};
   switch (origin_) {
     case Origin::kTask: {
       Lifetime& l = lifetimes_[origin_stamp_.lt];
       meta.stamp = origin_stamp_;
       meta.stamp.epoch = l.epoch;
       meta.stamp.era = era_;
+      meta.stamp.shard = replay_shard_;
       meta.stamp.tick = depart;
-      meta.snap = snapshot_of(origin_stamp_.lt);
+      meta.snap = clock_snapshot(origin_stamp_.lt);
+      meta.ext = l.last;
+      meta.host_ep = l.host_ep;
       ++l.epoch;
       break;
     }
     default: {  // DRAM traffic normally originates in tasks; host is the fallback
       Lifetime& h = lifetimes_[kHostLifetime];
-      meta.stamp = Stamp{kHostLifetime, h.epoch, era_, 0, depart};
-      meta.snap = snapshot_of(kHostLifetime);
+      meta.stamp = Stamp{kHostLifetime, h.epoch, era_, 0, replay_shard_, depart};
+      meta.snap = clock_snapshot(kHostLifetime);
       ++h.epoch;
       break;
     }
@@ -360,13 +726,15 @@ void Checker::on_route_dram(std::uint32_t idx, bool addr_mapped, Tick depart) {
   meta.holds_ref = true;
 }
 
+void Checker::on_route_dram(std::uint32_t idx, bool addr_mapped, Tick depart) {
+  route_dram_m(dram_meta(idx), m_.shard0().dram_pool[idx], addr_mapped, depart);
+}
+
 // ---- Delivery / execution hooks --------------------------------------------
 
-bool Checker::on_pre_deliver(std::uint32_t idx, Tick start) {
-  MsgMeta& meta = msg_meta(idx);
-  const Message& m = m_.shard0().msg_pool[idx];
+bool Checker::pre_deliver_m(MsgMeta& meta, const Message& m, Tick start) {
   if (meta.suppress) {
-    meta.snap.reset();
+    release_msg_meta(meta);
     return false;
   }
   const EventLabel label = evw::label(m.evw);
@@ -378,7 +746,7 @@ bool Checker::on_pre_deliver(std::uint32_t idx, Tick start) {
                  "sent by %s",
                  static_cast<unsigned long long>(m.evw), label, m_.program().size(),
                  where(meta.stamp).c_str())});
-    meta.snap.reset();
+    release_msg_meta(meta);
     return false;
   }
   if (!evw::is_new_thread(m.evw)) {
@@ -390,7 +758,7 @@ bool Checker::on_pre_deliver(std::uint32_t idx, Tick start) {
             strfmt("event %s delivered to [NWID %u][TID %u], but the thread "
                    "terminated while the message was in flight (sent by %s)",
                    ev_name(label).c_str(), lane, tid, where(meta.stamp).c_str())});
-      meta.snap.reset();
+      release_msg_meta(meta);
       return false;
     }
     if (meta.target != kNoLifetime && slot_lt_[lane][tid] != meta.target) {
@@ -403,29 +771,35 @@ bool Checker::on_pre_deliver(std::uint32_t idx, Tick start) {
                    ev_name(label).c_str(), lane, tid, ev_name(cur.create_label).c_str(),
                    static_cast<unsigned long long>(cur.created_at),
                    where(meta.stamp).c_str())});
-      meta.snap.reset();
+      release_msg_meta(meta);
       return false;
     }
   }
   return true;
 }
 
-void Checker::on_class_mismatch(std::uint32_t idx, NetworkId lane, ThreadId tid,
-                                Tick start) {
-  MsgMeta& meta = msg_meta(idx);
-  const Message& m = m_.shard0().msg_pool[idx];
+bool Checker::on_pre_deliver(std::uint32_t idx, Tick start) {
+  return pre_deliver_m(msg_meta(idx), m_.shard0().msg_pool[idx], start);
+}
+
+void Checker::class_mismatch_m(MsgMeta& meta, const Message& m, NetworkId lane,
+                               ThreadId tid, Tick start) {
   const EventLabel label = evw::label(m.evw);
   ++counts_.bad_event_words;
   diag({CheckKind::kBadEventWord, true, start, lane, tid, label, 0, 0,
         strfmt("event %s delivered to [NWID %u][TID %u], a thread of another class; "
                "sent by %s — delivery suppressed",
                ev_name(label).c_str(), lane, tid, where(meta.stamp).c_str())});
-  meta.snap.reset();
+  release_msg_meta(meta);
 }
 
-void Checker::on_task_begin(std::uint32_t idx, NetworkId lane, ThreadId tid,
-                            EventLabel label, Tick start, bool new_thread) {
-  MsgMeta meta = std::move(msg_meta(idx));  // take the snapshot out of the slot
+void Checker::on_class_mismatch(std::uint32_t idx, NetworkId lane, ThreadId tid,
+                                Tick start) {
+  class_mismatch_m(msg_meta(idx), m_.shard0().msg_pool[idx], lane, tid, start);
+}
+
+void Checker::task_begin_m(MsgMeta& meta, const Message& m, NetworkId lane, ThreadId tid,
+                           EventLabel label, Tick start, bool new_thread) {
   LifetimeId lt;
   if (new_thread) {
     lt = new_lifetime(lane, tid, label, start);
@@ -433,15 +807,23 @@ void Checker::on_task_begin(std::uint32_t idx, NetworkId lane, ThreadId tid,
   } else {
     lt = slot_lifetime(lane, tid);
   }
-  join_into(lt, meta.snap, meta.stamp);
+  const SnapId snap = meta.snap;
+  meta.snap = kNoSnap;  // the meta's pool ref transfers to join_into
+  join_into(lt, snap, meta.ext, meta.host_ep, meta.stamp);
 
-  const Message& m = m_.shard0().msg_pool[idx];
   if (m.cont != IGNRCONT && (!meta.from_dram || meta.cont_pending))
     register_cont(m.cont, lane, start);
 
   origin_ = Origin::kTask;
-  origin_stamp_ = Stamp{lt, lifetimes_[lt].epoch, era_, label, start};
-  origin_snap_.reset();
+  origin_stamp_ = Stamp{lt, lifetimes_[lt].epoch, era_, label, replay_shard_, start};
+  snap_clear(origin_snap_);
+  release_msg_meta(meta);
+}
+
+void Checker::on_task_begin(std::uint32_t idx, NetworkId lane, ThreadId tid,
+                            EventLabel label, Tick start, bool new_thread) {
+  task_begin_m(msg_meta(idx), m_.shard0().msg_pool[idx], lane, tid, label, start,
+               new_thread);
 }
 
 void Checker::on_task_end(NetworkId lane, ThreadId tid, bool terminated) {
@@ -449,10 +831,57 @@ void Checker::on_task_end(NetworkId lane, ThreadId tid, bool terminated) {
     const LifetimeId lt = slot_lifetime(lane, tid);
     Lifetime& l = lifetimes_[lt];
     l.alive = false;
-    VC().swap(l.vc);  // free the clock; outstanding stamps keep epoch/refs
-    l.snap.reset();
+    snap_clear(l.clock);  // free the clock; outstanding stamps keep epoch/refs
+    maybe_retire(lt);  // no stamps outstanding: recycle the id immediately
   }
   origin_ = Origin::kNone;
+}
+
+void Checker::dram_fault_diag(const Stamp& s, unsigned nwords, bool is_write, Addr va,
+                              const FreedRegion* freed, Tick now) {
+  const char* op = is_write ? "write" : "read";
+  const NetworkId nw = s.lt == kHostLifetime ? NetworkId{0} : lifetimes_[s.lt].nwid;
+  const ThreadId td = s.lt == kHostLifetime ? ThreadId{0} : lifetimes_[s.lt].tid;
+  if (freed) {
+    ++counts_.use_after_free;
+    diag({CheckKind::kUseAfterFree, true, now, nw, td, s.label, va, freed->alloc_seq,
+          strfmt("use-after-free: DRAM %s of %u word(s) at va=0x%llx hits freed "
+                 "region alloc #%llu [0x%llx, 0x%llx) retired by free #%llu; "
+                 "requested by %s — access suppressed",
+                 op, nwords, static_cast<unsigned long long>(va),
+                 static_cast<unsigned long long>(freed->alloc_seq),
+                 static_cast<unsigned long long>(freed->base),
+                 static_cast<unsigned long long>(freed->base + freed->size),
+                 static_cast<unsigned long long>(freed->free_seq), where(s).c_str())});
+  } else {
+    ++counts_.out_of_bounds;
+    diag({CheckKind::kOutOfBounds, true, now, nw, td, s.label, va, 0,
+          strfmt("out-of-bounds DRAM %s of %u word(s) at va=0x%llx: no live "
+                 "translation descriptor covers it; requested by %s — access "
+                 "suppressed",
+                 op, nwords, static_cast<unsigned long long>(va), where(s).c_str())});
+  }
+}
+
+void Checker::dram_race_words(DramMeta& meta, Addr addr, unsigned nwords, bool is_write,
+                              Tick now) {
+  Stamp cur = meta.stamp;
+  cur.tick = now;
+  const ClockView view{&snap_vc(meta.snap), meta.ext, meta.host_ep};
+  // Resolve the shadow page once per crossing: an 8-word run touches one,
+  // at most two, pages instead of paying a hash probe per word.
+  std::uint64_t w = addr >> 3;
+  std::uint64_t curp = ~std::uint64_t{0};
+  ShadowPage* pg = nullptr;
+  for (unsigned i = 0; i < nwords; ++i, ++w) {
+    const std::uint64_t p = w >> kShadowPageShift;
+    if (p != curp) {
+      pg = &dram_page(p);
+      curp = p;
+    }
+    check_access(pg->cells[w & (kShadowPageWords - 1)], cur, view, is_write, false,
+                 addr + 8ull * i);
+  }
 }
 
 bool Checker::on_dram_exec(std::uint32_t idx, Tick now) {
@@ -469,75 +898,49 @@ bool Checker::on_dram_exec(std::uint32_t idx, Tick now) {
     for (unsigned i = 0; i < r.nwords; ++i) {
       const Addr va = r.addr + 8ull * i;
       if (mem.find_live(va)) continue;
-      const char* op = r.is_write ? "write" : "read";
-      if (const FreedRegion* f = mem.find_freed(va)) {
-        ++counts_.use_after_free;
-        diag({CheckKind::kUseAfterFree, true, now,
-              meta.stamp.lt == kHostLifetime ? NetworkId{0} : lifetimes_[meta.stamp.lt].nwid,
-              meta.stamp.lt == kHostLifetime ? ThreadId{0} : lifetimes_[meta.stamp.lt].tid,
-              meta.stamp.label, va, f->alloc_seq,
-              strfmt("use-after-free: DRAM %s of %u word(s) at va=0x%llx hits freed "
-                     "region alloc #%llu [0x%llx, 0x%llx) retired by free #%llu; "
-                     "requested by %s — access suppressed",
-                     op, r.nwords, static_cast<unsigned long long>(va),
-                     static_cast<unsigned long long>(f->alloc_seq),
-                     static_cast<unsigned long long>(f->base),
-                     static_cast<unsigned long long>(f->base + f->size),
-                     static_cast<unsigned long long>(f->free_seq),
-                     where(meta.stamp).c_str())});
-      } else {
-        ++counts_.out_of_bounds;
-        diag({CheckKind::kOutOfBounds, true, now,
-              meta.stamp.lt == kHostLifetime ? NetworkId{0} : lifetimes_[meta.stamp.lt].nwid,
-              meta.stamp.lt == kHostLifetime ? ThreadId{0} : lifetimes_[meta.stamp.lt].tid,
-              meta.stamp.label, va, 0,
-              strfmt("out-of-bounds DRAM %s of %u word(s) at va=0x%llx: no live "
-                     "translation descriptor covers it; requested by %s — access "
-                     "suppressed",
-                     op, r.nwords, static_cast<unsigned long long>(va),
-                     where(meta.stamp).c_str())});
-      }
+      dram_fault_diag(meta.stamp, r.nwords, r.is_write, va, mem.find_freed(va), now);
       return false;  // one diagnostic per request; suppress the whole access
     }
   }
 
   // 2. Race-check each word at the requester's send-time clock.
-  Stamp cur = meta.stamp;
-  cur.tick = now;
-  static const VC kEmptyVC;
-  const VC& vc = meta.snap ? *meta.snap : kEmptyVC;
-  for (unsigned i = 0; i < r.nwords; ++i) {
-    const Addr va = r.addr + 8ull * i;
-    check_access(dram_shadow_[va >> 3], cur, vc, r.is_write, false, va);
-  }
+  dram_race_words(meta, r.addr, r.nwords, r.is_write, now);
   return true;
 }
 
-void Checker::begin_dram_reply(std::uint32_t idx) {
-  DramMeta& meta = dram_meta(idx);
+void Checker::begin_dram_reply_m(DramMeta& meta) {
   origin_ = Origin::kDramReply;
   origin_stamp_ = meta.stamp;
-  origin_snap_ = meta.snap;
+  snap_assign(origin_snap_, meta.snap);
+  origin_ext_ = meta.ext;
+  origin_host_ep_ = meta.host_ep;
   origin_cont_pending_ = meta.cont_pending;
 }
 
-void Checker::on_dram_done(std::uint32_t idx) {
-  DramMeta& meta = dram_meta(idx);
+void Checker::begin_dram_reply(std::uint32_t idx) { begin_dram_reply_m(dram_meta(idx)); }
+
+void Checker::dram_done_m(DramMeta& meta) {
   if (meta.holds_ref) {
-    stamp_unref(meta.stamp.lt);
     meta.holds_ref = false;
+    stamp_unref(meta.stamp.lt);
   }
-  meta.snap.reset();
+  snap_clear(meta.snap);
+  meta.ext = InlineVC{};
+  meta.host_ep = 0;
   origin_ = Origin::kNone;
-  origin_snap_.reset();
+  snap_clear(origin_snap_);
+  origin_ext_ = InlineVC{};
+  origin_host_ep_ = 0;
 }
 
-bool Checker::on_sp_access(NetworkId lane, std::uint64_t offset, std::size_t bytes,
-                           bool is_write, Tick now) {
+void Checker::on_dram_done(std::uint32_t idx) { dram_done_m(dram_meta(idx)); }
+
+bool Checker::sp_access_check(NetworkId lane, std::uint64_t offset, std::size_t bytes,
+                              bool is_write, Tick now) {
   if (offset + bytes > m_.config().scratchpad_bytes) {
     ++counts_.out_of_bounds;
     const NetworkId nw = origin_ == Origin::kTask ? lifetimes_[origin_stamp_.lt].nwid : lane;
-    const ThreadId td = origin_ == Origin::kTask ? lifetimes_[origin_stamp_.lt].tid : 0;
+    const ThreadId td = origin_ == Origin::kTask ? lifetimes_[origin_stamp_.lt].tid : ThreadId{0};
     diag({CheckKind::kOutOfBounds, true, now, nw, td, origin_stamp_.label, offset, 0,
           strfmt("scratchpad %s at offset 0x%llx (+%zu) beyond the lane's %llu-byte "
                  "scratchpad, in %s — access suppressed",
@@ -550,49 +953,123 @@ bool Checker::on_sp_access(NetworkId lane, std::uint64_t offset, std::size_t byt
     Stamp cur = origin_stamp_;
     cur.epoch = lifetimes_[cur.lt].epoch;
     cur.era = era_;
+    cur.shard = replay_shard_;
     cur.tick = now;
-    const VC& vc = lifetimes_[cur.lt].vc;
-    const std::uint64_t key = (static_cast<std::uint64_t>(lane) << 32) | (offset >> 3);
-    check_access(sp_shadow_[key], cur, vc, is_write, true, offset);
+    const Lifetime& l = lifetimes_[cur.lt];
+    const ClockView view{&snap_vc(l.clock), l.last, l.host_ep};
+    check_access(sp_cell(lane, offset >> 3), cur, view, is_write, true, offset);
   }
   return true;
 }
 
-void Checker::on_sync_release(NetworkId lane, std::uint64_t slot) {
+bool Checker::on_sp_access(EngineShard& sh, NetworkId lane, std::uint64_t offset,
+                           std::size_t bytes, bool is_write, Tick now) {
+  if (deferred()) {
+    const bool oob = offset + bytes > m_.config().scratchpad_bytes;
+    // Non-strict mode only ever reports OOB, so only OOB accesses need a
+    // record; strict mode race-checks every access and logs them all.
+    if (oob || sp_strict_) {
+      CheckRec r;
+      r.kind = CheckRec::kSpAccess;
+      r.d = lane;
+      r.w[2] = offset;
+      r.w[1] = bytes;
+      r.b = is_write ? 1 : 0;
+      r.w[0] = now;
+      log_of(sh).push_back(r);
+    }
+    return !oob;
+  }
+  return sp_access_check(lane, offset, bytes, is_write, now);
+}
+
+void Checker::sync_release_check(NetworkId lane, std::uint64_t slot) {
   if (origin_ != Origin::kTask) return;
   VC& cell = sync_clocks_[(static_cast<std::uint64_t>(lane) << 32) | slot];
   Lifetime& l = lifetimes_[origin_stamp_.lt];
-  merge_vc(cell, l.vc, kNoLifetime);
+  merge_vc(cell, snap_vc(l.clock), kNoLifetime);
+  if (l.last.e0.lt != kNoLifetime && !dead_entry(l.last.e0))
+    vc_upsert(cell, l.last.e0.lt, l.last.e0.epoch);
+  if (l.last.e1.lt != kNoLifetime && !dead_entry(l.last.e1))
+    vc_upsert(cell, l.last.e1.lt, l.last.e1.epoch);
+  // The host chain lives in a scalar on the lifetime, not in its clock; a
+  // sync cell is a plain VC, so publish it as an ordinary (host, ep) entry.
+  if (l.host_ep != 0) vc_upsert(cell, kHostLifetime, l.host_ep);
   vc_upsert(cell, origin_stamp_.lt, l.epoch);
   ++l.epoch;  // release: later accesses are not published through this cell
 }
 
-void Checker::on_sync_acquire(NetworkId lane, std::uint64_t slot) {
+void Checker::sync_acquire_check(NetworkId lane, std::uint64_t slot) {
   if (origin_ != Origin::kTask) return;
   const auto it = sync_clocks_.find((static_cast<std::uint64_t>(lane) << 32) | slot);
   if (it == sync_clocks_.end()) return;
+  // Strip the (host, ep) entry back out into the acquirer's scalar: lifetime
+  // clocks never carry host entries (that would poison every empty-clock fast
+  // path). The cell VC is sorted by lifetime id and host is id 0, so it can
+  // only sit at the front.
+  const VC& cv = it->second;
   Lifetime& l = lifetimes_[origin_stamp_.lt];
-  if (merge_vc(l.vc, it->second, origin_stamp_.lt)) l.snap.reset();
+  std::size_t off = 0;
+  if (!cv.empty() && cv[0].lt == kHostLifetime) {
+    if (cv[0].epoch > l.host_ep) l.host_ep = cv[0].epoch;
+    off = 1;
+  }
+  if (off < cv.size()) {
+    // clock_join scans its src while building into scratch_vc_, so the
+    // stripped copy needs its own scratch buffer.
+    sync_scratch_vc_.assign(cv.begin() + off, cv.end());
+    clock_join(origin_stamp_.lt, sync_scratch_vc_, nullptr);
+  }
+}
+
+void Checker::on_sync_release(EngineShard& sh, NetworkId lane, std::uint64_t slot) {
+  if (deferred()) {
+    CheckRec r;
+    r.kind = CheckRec::kSyncRelease;
+    r.d = lane;
+    r.w[2] = slot;
+    log_of(sh).push_back(r);
+    return;
+  }
+  sync_release_check(lane, slot);
+}
+
+void Checker::on_sync_acquire(EngineShard& sh, NetworkId lane, std::uint64_t slot) {
+  if (deferred()) {
+    CheckRec r;
+    r.kind = CheckRec::kSyncAcquire;
+    r.d = lane;
+    r.w[2] = slot;
+    log_of(sh).push_back(r);
+    return;
+  }
+  sync_acquire_check(lane, slot);
 }
 
 void Checker::push_origin() {
-  origin_stack_.push_back(
-      SavedOrigin{origin_, origin_stamp_, origin_snap_, origin_cont_pending_});
+  snap_ref(origin_snap_);  // the saved copy holds its own pool ref
+  origin_stack_.push_back(SavedOrigin{origin_, origin_stamp_, origin_snap_,
+                                      origin_ext_, origin_host_ep_,
+                                      origin_cont_pending_});
 }
 
 void Checker::pop_origin() {
+  if (origin_stack_.empty()) return;  // defensive: replay of a truncated group
   const SavedOrigin& s = origin_stack_.back();
   origin_ = s.origin;
   origin_stamp_ = s.stamp;
-  origin_snap_ = s.snap;
+  snap_unref(origin_snap_);
+  origin_snap_ = s.snap;  // the saved ref transfers back
+  origin_ext_ = s.ext;
+  origin_host_ep_ = s.host_ep;
   origin_cont_pending_ = s.cont_pending;
   origin_stack_.pop_back();
 }
 
-void Checker::check_access(ShadowCell& cell, const Stamp& cur, const VC& vc,
+void Checker::check_access(ShadowCell& cell, const Stamp& cur, const ClockView& view,
                            bool is_write, bool is_sp, Addr va) {
   const auto racy = [&](const Stamp& prev) {
-    return prev.lt != kNoLifetime && !ordered(prev, cur.lt, vc);
+    return prev.lt != kNoLifetime && !ordered(prev, cur.lt, view);
   };
   const Stamp* conflict = nullptr;
   bool conflict_write = false;
@@ -600,10 +1077,14 @@ void Checker::check_access(ShadowCell& cell, const Stamp& cur, const VC& vc,
     conflict = &cell.write;
     conflict_write = true;
   } else if (is_write) {
-    for (const Stamp& r : cell.readers) {
-      if (racy(r)) {
-        conflict = &r;
-        break;
+    if (racy(cell.read0)) {
+      conflict = &cell.read0;
+    } else if (cell.overflow != kNoOverflow) {
+      for (const Stamp& r : reader_pool_[cell.overflow]) {
+        if (racy(r)) {
+          conflict = &r;
+          break;
+        }
       }
     }
   }
@@ -611,22 +1092,484 @@ void Checker::check_access(ShadowCell& cell, const Stamp& cur, const VC& vc,
     std::uint64_t& counter = is_sp ? counts_.sp_races : counts_.data_races;
     ++counter;
     const Lifetime& l = lifetimes_[cur.lt];
+    // Under sharded execution the two sides may have executed on different
+    // engine shards; name both so cross-shard races are attributable.
+    std::string cur_sh, prev_sh;
+    if (nshards_ > 1) {
+      cur_sh = strfmt(" [shard %u]", cur.shard);
+      prev_sh = strfmt(" [shard %u]", conflict->shard);
+    }
     diag({is_sp ? CheckKind::kSpRace : CheckKind::kDataRace, true, cur.tick, l.nwid,
           l.tid, cur.label, va, 0,
-          strfmt("%s on %s %s=0x%llx: %s by %s is unordered with %s by %s",
+          strfmt("%s on %s %s=0x%llx: %s by %s%s is unordered with %s by %s%s",
                  is_sp ? "ordering hazard" : "data race",
                  is_sp ? "scratchpad" : "DRAM", is_sp ? "offset" : "va",
                  static_cast<unsigned long long>(va), is_write ? "write" : "read",
-                 where(cur).c_str(), conflict_write ? "write" : "read",
-                 where(*conflict).c_str())});
+                 where(cur).c_str(), cur_sh.c_str(), conflict_write ? "write" : "read",
+                 where(*conflict).c_str(), prev_sh.c_str())});
   }
   if (is_write) {
     set_stamp(cell.write, cur);
-    for (const Stamp& r : cell.readers) stamp_unref(r.lt);
-    cell.readers.clear();
+    clear_readers(cell);
   } else {
-    add_reader(cell, cur);
+    add_reader(cell, cur, view);
   }
+}
+
+// ---- Deferred-mode engine hooks --------------------------------------------
+
+std::vector<CheckRec>& Checker::log_of(EngineShard& sh) { return logs_[sh.id]; }
+
+void Checker::defer_route_message(EngineShard& sh, std::uint32_t ent, std::uint32_t seq,
+                                  const Message& m, Tick depart) {
+  CheckRec r;
+  r.kind = CheckRec::kRouteMsg;
+  r.d = ent;
+  r.w[0] = depart;
+  r.w[1] = seq;
+  r.w[2] = m.evw;
+  r.w[3] = m.cont;
+  r.w[4] = static_cast<std::uint64_t>(m.src) | (static_cast<std::uint64_t>(m.nops) << 32);
+  log_of(sh).push_back(r);
+}
+
+void Checker::defer_route_dram(EngineShard& sh, std::uint32_t ent, std::uint32_t seq,
+                               const DramRequest& r, bool addr_mapped, Tick depart) {
+  CheckRec rec;
+  rec.kind = CheckRec::kRouteDram;
+  rec.d = ent;
+  rec.w[0] = depart;
+  rec.w[1] = seq;
+  rec.w[2] = r.addr;
+  rec.w[3] = r.reply_evw;
+  rec.w[4] = r.reply_cont;
+  rec.b = r.nwords;
+  rec.c = static_cast<std::uint16_t>((r.is_write ? 1 : 0) | (addr_mapped ? 2 : 0));
+  log_of(sh).push_back(rec);
+}
+
+bool Checker::defer_pre_deliver(EngineShard& sh, Tick t, std::uint32_t ent,
+                                std::uint32_t seq, const Message& m, Tick start) {
+  auto& lg = log_of(sh);
+  CheckRec r;
+  r.kind = CheckRec::kBeginMsg;
+  r.w[0] = t;
+  r.d = ent;
+  r.w[1] = seq;
+  r.w[2] = m.evw;
+  r.w[3] = m.cont;
+  r.w[4] = static_cast<std::uint64_t>(m.src) | (static_cast<std::uint64_t>(m.nops) << 32);
+  r.w[5] = start;
+  lg.push_back(r);
+
+  // Online verdict from engine-owned state only (program table + this
+  // shard's lane cores): suppressed deliveries must not execute, but the
+  // diagnostics themselves wait for the replay.
+  const EventLabel label = evw::label(m.evw);
+  bool ok = !(label == 0 || label > m_.program().size());
+  if (ok && !evw::is_new_thread(m.evw))
+    ok = Lane(m_.lanes_, evw::nwid(m.evw)).alive(evw::tid(m.evw));
+  if (!ok) {
+    CheckRec f;
+    f.kind = CheckRec::kPreDeliverFail;
+    lg.push_back(f);
+  }
+  return ok;
+}
+
+void Checker::defer_class_mismatch(EngineShard& sh, NetworkId lane, ThreadId tid,
+                                   Tick start) {
+  CheckRec r;
+  r.kind = CheckRec::kClassMismatch;
+  r.d = lane;
+  r.c = tid;
+  r.w[0] = start;
+  log_of(sh).push_back(r);
+}
+
+void Checker::defer_task_begin(EngineShard& sh, NetworkId lane, ThreadId tid,
+                               EventLabel label, Tick start, bool new_thread) {
+  CheckRec r;
+  r.kind = CheckRec::kTaskBegin;
+  r.d = lane;
+  r.c = tid;
+  r.w[1] = label;
+  r.w[0] = start;
+  r.b = new_thread ? 1 : 0;
+  log_of(sh).push_back(r);
+}
+
+void Checker::defer_task_end(EngineShard& sh, NetworkId lane, ThreadId tid,
+                             bool terminated) {
+  CheckRec r;
+  r.kind = CheckRec::kTaskEnd;
+  r.d = lane;
+  r.c = tid;
+  r.b = terminated ? 1 : 0;
+  log_of(sh).push_back(r);
+}
+
+void Checker::defer_dram_begin(EngineShard& sh, Tick t, std::uint32_t ent,
+                               std::uint32_t seq) {
+  CheckRec r;
+  r.kind = CheckRec::kBeginDram;
+  r.w[0] = t;
+  r.d = ent;
+  r.w[1] = seq;
+  log_of(sh).push_back(r);
+}
+
+bool Checker::defer_dram_exec(EngineShard& sh, const DramRequest& r, Tick now) {
+  auto& lg = log_of(sh);
+  const GlobalMemory& mem = m_.memory();
+  // Sanitize through this shard's descriptor snapshot (refresh-on-miss): the
+  // same verdict the serial checker reaches, without the unlocked global
+  // table walk that would race with other shards' allocations.
+  const SwizzleDescriptor* d = mem.find_snap(r.addr, sh.mem_snap);
+  const Addr end = r.addr + 8ull * r.nwords;
+  bool ok = d && end <= d->end();
+  Addr bad_va = 0;
+  FreedRegion freed{};
+  bool uaf = false;
+  if (!ok) {
+    ok = true;
+    for (unsigned i = 0; i < r.nwords; ++i) {
+      const Addr va = r.addr + 8ull * i;
+      if (mem.find_snap(va, sh.mem_snap)) continue;
+      ok = false;
+      bad_va = va;
+      uaf = mem.find_freed_locked(va, &freed);
+      break;
+    }
+  }
+  CheckRec e;
+  e.kind = CheckRec::kDramExec;
+  e.w[0] = now;
+  e.b = ok ? 1 : 0;
+  lg.push_back(e);
+  if (!ok) {
+    CheckRec f;
+    f.kind = CheckRec::kDramFault;
+    f.b = uaf ? 1 : 0;
+    f.w[2] = bad_va;
+    if (uaf) {
+      f.w[0] = freed.base;
+      f.w[1] = freed.size;
+      f.w[3] = freed.alloc_seq;
+      f.w[4] = freed.free_seq;
+    }
+    lg.push_back(f);
+  }
+  return ok;
+}
+
+void Checker::defer_dram_reply_begin(EngineShard& sh) {
+  CheckRec r;
+  r.kind = CheckRec::kDramReplyBegin;
+  log_of(sh).push_back(r);
+}
+
+void Checker::defer_dram_done(EngineShard& sh) {
+  CheckRec r;
+  r.kind = CheckRec::kDramDone;
+  log_of(sh).push_back(r);
+}
+
+bool Checker::defer_inline_begin(EngineShard& sh, const Message& m, Tick start) {
+  auto& lg = log_of(sh);
+  CheckRec r;
+  r.kind = CheckRec::kInlineBegin;
+  r.w[0] = start;
+  r.w[2] = m.evw;
+  r.w[3] = m.cont;
+  r.w[4] = static_cast<std::uint64_t>(m.src) | (static_cast<std::uint64_t>(m.nops) << 32);
+  lg.push_back(r);
+  if (!evw::is_new_thread(m.evw) &&
+      !Lane(m_.lanes_, evw::nwid(m.evw)).alive(evw::tid(m.evw))) {
+    CheckRec s;
+    s.kind = CheckRec::kInlineSuppress;
+    s.c = 0;  // pre-deliver failure
+    s.d = evw::nwid(m.evw);
+    s.w[1] = evw::tid(m.evw);
+    s.w[0] = start;
+    lg.push_back(s);
+    return false;
+  }
+  return true;
+}
+
+void Checker::defer_inline_class_mismatch(EngineShard& sh, NetworkId lane, ThreadId tid,
+                                          Tick start) {
+  CheckRec s;
+  s.kind = CheckRec::kInlineSuppress;
+  s.c = 1;  // class mismatch
+  s.d = lane;
+  s.w[1] = tid;
+  s.w[0] = start;
+  log_of(sh).push_back(s);
+}
+
+void Checker::defer_inline_end(EngineShard& sh) {
+  CheckRec r;
+  r.kind = CheckRec::kInlineEnd;
+  log_of(sh).push_back(r);
+}
+
+// ---- Deferred replay -------------------------------------------------------
+
+namespace {
+bool is_group_begin(const CheckRec& r) {
+  return r.kind == CheckRec::kHostSend || r.kind == CheckRec::kBeginMsg ||
+         r.kind == CheckRec::kBeginDram;
+}
+}  // namespace
+
+void Checker::replay_pending() {
+  bool any = false;
+  for (const auto& lg : logs_)
+    if (!lg.empty()) {
+      any = true;
+      break;
+    }
+  if (!any) return;
+
+  // K-way merge of the shard logs by group key (t, ent, seq) — the engine's
+  // global event order. Each shard's log is already key-sorted (a shard pops
+  // its queue in key order and appends groups as it executes), so one cursor
+  // per shard suffices; group keys are globally unique.
+  using Key = std::tuple<Tick, std::uint32_t, std::uint32_t>;
+  const auto group_key = [](const CheckRec& r) {
+    return Key(r.w[0], r.d, static_cast<std::uint32_t>(r.w[1]));
+  };
+  std::vector<std::size_t> pos(nshards_, 0);
+  for (;;) {
+    std::uint32_t best = nshards_;
+    Key best_key{};
+    for (std::uint32_t s = 0; s < nshards_; ++s) {
+      if (pos[s] >= logs_[s].size()) continue;
+      const CheckRec& r = logs_[s][pos[s]];
+      if (!is_group_begin(r)) {
+        // A truncated/garbled log segment (aborted window); skip the shard.
+        pos[s] = logs_[s].size();
+        continue;
+      }
+      const Key k = group_key(r);
+      if (best == nshards_ || k < best_key) {
+        best = s;
+        best_key = k;
+      }
+    }
+    if (best == nshards_) break;
+    std::size_t end = pos[best] + 1;
+    while (end < logs_[best].size() && !is_group_begin(logs_[best][end])) ++end;
+    replay_group(best, logs_[best], pos[best], end);
+    pos[best] = end;
+  }
+  for (auto& lg : logs_) lg.clear();
+}
+
+void Checker::replay_group(std::uint32_t shard, const std::vector<CheckRec>& log,
+                           std::size_t begin, std::size_t end) {
+  replay_shard_ = static_cast<std::uint16_t>(shard);
+
+  // Replay frames stand in for the engine's pooled payloads: the group's own
+  // message at the bottom, one frame per nested inline delivery above it.
+  struct Frame {
+    Message m;
+    MsgMeta meta;
+  };
+  std::vector<Frame> stack;
+  DramMeta dmeta;
+  Addr daddr = 0;
+  unsigned dnwords = 0;
+  bool dwrite = false;
+  Tick dnow = 0;
+
+  const auto stash_key = [](std::uint32_t ent, std::uint64_t seq) {
+    return (static_cast<std::uint64_t>(ent) << 32) | (seq & 0xFFFFFFFFull);
+  };
+  const auto fill_msg = [](Message& m, const CheckRec& r) {
+    m.evw = r.w[2];
+    m.cont = r.w[3];
+    m.src = static_cast<NetworkId>(r.w[4] & 0xFFFFFFFFull);
+    m.nops = static_cast<std::uint8_t>(r.w[4] >> 32);
+  };
+
+  origin_ = Origin::kNone;
+  snap_clear(origin_snap_);
+  origin_ext_ = InlineVC{};
+  origin_host_ep_ = 0;
+
+  const CheckRec& b = log[begin];
+  switch (b.kind) {
+    case CheckRec::kHostSend:
+      origin_ = Origin::kHost;
+      break;
+    case CheckRec::kBeginMsg: {
+      stack.emplace_back();
+      fill_msg(stack.back().m, b);
+      // The send-time clock stamp crossed the window (or the shard) through
+      // the stash, keyed by the sender's (entity, seq) identity.
+      auto it = msg_stash_.find(stash_key(b.d, b.w[1]));
+      if (it != msg_stash_.end()) {
+        stack.back().meta = std::move(it->second);
+        msg_stash_.erase(it);
+      }
+      pre_deliver_m(stack.back().meta, stack.back().m, b.w[5]);
+      break;
+    }
+    case CheckRec::kBeginDram: {
+      auto it = dram_stash_.find(stash_key(b.d, b.w[1]));
+      if (it != dram_stash_.end()) {
+        dmeta = std::move(it->second.meta);
+        daddr = it->second.addr;
+        dnwords = it->second.nwords;
+        dwrite = it->second.is_write;
+        dram_stash_.erase(it);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+
+  for (std::size_t i = begin + 1; i < end; ++i) {
+    const CheckRec& r = log[i];
+    switch (r.kind) {
+      case CheckRec::kRouteMsg: {
+        Message m;
+        fill_msg(m, r);
+        MsgMeta meta;
+        route_message_m(meta, m, r.w[0]);
+        msg_stash_[stash_key(r.d, r.w[1])] = std::move(meta);
+        break;
+      }
+      case CheckRec::kRouteDram: {
+        DramRequest dr{};
+        dr.addr = r.w[2];
+        dr.nwords = r.b;
+        dr.is_write = (r.c & 1) != 0;
+        dr.reply_evw = r.w[3];
+        dr.reply_cont = r.w[4];
+        DramStash st;
+        route_dram_m(st.meta, dr, (r.c & 2) != 0, r.w[0]);
+        st.addr = dr.addr;
+        st.nwords = r.b;
+        st.is_write = dr.is_write;
+        dram_stash_[stash_key(r.d, r.w[1])] = std::move(st);
+        break;
+      }
+      case CheckRec::kBadRoute:
+        bad_route_diag(r.w[2], r.w[0]);
+        break;
+      case CheckRec::kPreDeliverFail:
+        // The engine suppressed this delivery online; pre_deliver_m above may
+        // have diverged on a racy input, so force the release (idempotent).
+        if (!stack.empty()) release_msg_meta(stack.back().meta);
+        break;
+      case CheckRec::kClassMismatch:
+        if (!stack.empty())
+          class_mismatch_m(stack.back().meta, stack.back().m, r.d,
+                           static_cast<ThreadId>(r.c), r.w[0]);
+        break;
+      case CheckRec::kTaskBegin:
+        if (!stack.empty())
+          task_begin_m(stack.back().meta, stack.back().m, r.d,
+                       static_cast<ThreadId>(r.c), static_cast<EventLabel>(r.w[1]),
+                       r.w[0], r.b != 0);
+        break;
+      case CheckRec::kTaskEnd:
+        on_task_end(r.d, static_cast<ThreadId>(r.c), r.b != 0);
+        break;
+      case CheckRec::kDramExec:
+        dnow = r.w[0];
+        if (r.b) dram_race_words(dmeta, daddr, dnwords, dwrite, dnow);
+        break;
+      case CheckRec::kDramFault:
+        if (r.b) {
+          const FreedRegion f{r.w[0], r.w[1], r.w[3], r.w[4]};
+          dram_fault_diag(dmeta.stamp, dnwords, dwrite, r.w[2], &f, dnow);
+        } else {
+          dram_fault_diag(dmeta.stamp, dnwords, dwrite, r.w[2], nullptr, dnow);
+        }
+        break;
+      case CheckRec::kDramReplyBegin:
+        begin_dram_reply_m(dmeta);
+        break;
+      case CheckRec::kDramDone:
+        dram_done_m(dmeta);
+        break;
+      case CheckRec::kSpAccess:
+        sp_access_check(r.d, r.w[2], static_cast<std::size_t>(r.w[1]), r.b != 0, r.w[0]);
+        break;
+      case CheckRec::kSyncRelease:
+        sync_release_check(r.d, r.w[2]);
+        break;
+      case CheckRec::kSyncAcquire:
+        sync_acquire_check(r.d, r.w[2]);
+        break;
+      case CheckRec::kInlineBegin: {
+        push_origin();
+        stack.emplace_back();
+        fill_msg(stack.back().m, r);
+        route_message_m(stack.back().meta, stack.back().m, r.w[0]);
+        pre_deliver_m(stack.back().meta, stack.back().m, r.w[0]);
+        break;
+      }
+      case CheckRec::kInlineSuppress:
+        if (!stack.empty()) {
+          if (r.c == 1)
+            class_mismatch_m(stack.back().meta, stack.back().m, r.d,
+                             static_cast<ThreadId>(r.w[1]), r.w[0]);
+          else
+            release_msg_meta(stack.back().meta);
+          stack.pop_back();
+          pop_origin();
+        }
+        break;
+      case CheckRec::kInlineEnd:
+        if (!stack.empty()) {
+          release_msg_meta(stack.back().meta);
+          stack.pop_back();
+          pop_origin();
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  while (!stack.empty()) {
+    release_msg_meta(stack.back().meta);
+    stack.pop_back();
+  }
+  snap_unref(dmeta.snap);  // truncated group: the kDramDone never arrived
+  origin_ = Origin::kNone;
+  snap_clear(origin_snap_);
+  origin_ext_ = InlineVC{};
+  origin_host_ep_ = 0;
+  for (SavedOrigin& s : origin_stack_) snap_unref(s.snap);
+  origin_stack_.clear();
+  replay_shard_ = 0;
+}
+
+void Checker::reset_deferred() {
+  for (auto& lg : logs_) lg.clear();
+  // Stashed in-flight metadata may hold lifetime refcounts; dropping it
+  // without the unref only pins lifetimes conservatively until the next idle
+  // report. Snapshot pool refs are released here (nothing else reconciles
+  // them), so the slots recycle.
+  for (auto& [k, mm] : msg_stash_) snap_unref(mm.snap);
+  for (auto& [k, ds] : dram_stash_) snap_unref(ds.meta.snap);
+  msg_stash_.clear();
+  dram_stash_.clear();
+  origin_ = Origin::kNone;
+  snap_clear(origin_snap_);
+  origin_ext_ = InlineVC{};
+  origin_host_ep_ = 0;
+  for (SavedOrigin& s : origin_stack_) snap_unref(s.snap);
+  origin_stack_.clear();
+  replay_shard_ = 0;
 }
 
 // ---- MemoryObserver ---------------------------------------------------------
@@ -640,18 +1583,41 @@ void Checker::on_free(const SwizzleDescriptor&, std::uint64_t) {
 }
 
 void Checker::on_bad_free(Addr base, bool double_free, const std::string& detail) {
-  ++counts_.bad_frees;
   const std::string head = detail.substr(0, detail.find('\n'));
+  if (deferred()) {
+    // dram_free may run on any shard thread; queue under the mutex and fold
+    // in at report time (the caller throws, so the run is aborting anyway).
+    std::lock_guard<std::mutex> lk(bad_free_mu_);
+    bad_free_pending_.push_back(BadFree{base, double_free, head, m_.now()});
+    return;
+  }
+  ++counts_.bad_frees;
   diag({CheckKind::kBadFree, true, m_.now(), 0, 0, 0, base, 0,
         double_free ? head : head + " (never a dram_malloc result)"});
+}
+
+void Checker::drain_bad_frees() {
+  std::vector<BadFree> pending;
+  {
+    std::lock_guard<std::mutex> lk(bad_free_mu_);
+    pending.swap(bad_free_pending_);
+  }
+  for (const BadFree& bf : pending) {
+    ++counts_.bad_frees;
+    diag({CheckKind::kBadFree, true, bf.tick, 0, 0, 0, bf.base, 0,
+          bf.double_free ? bf.head : bf.head + " (never a dram_malloc result)"});
+  }
 }
 
 // ---- Reporting --------------------------------------------------------------
 
 void Checker::report() {
+  drain_bad_frees();
+
   // Leaked threads: in this DSL a handler return is an implicit yield that
   // keeps the context allocated; a thread nothing ever terminates surfaces
-  // here as a quiescence leak.
+  // here as a quiescence leak. The creation sequence number is the thread's
+  // alloc-site id, same idea as dram_malloc's alloc #N.
   for (NetworkId nw = 0; nw < slot_lt_.size(); ++nw) {
     for (ThreadId tid = 0; tid < slot_lt_[nw].size(); ++tid) {
       const LifetimeId lt = slot_lt_[nw][tid];
@@ -662,17 +1628,27 @@ void Checker::report() {
       leak_reported_.push_back(lt);
       ++counts_.leaked_threads;
       const Lifetime& l = lifetimes_[lt];
-      diag({CheckKind::kLeakedThread, true, m_.now(), nw, tid, l.create_label, 0, 0,
-            strfmt("thread context [NWID %u][TID %u] (%s thread created @%llu) is "
-                   "still live at drain: some handler returned without "
-                   "yield_terminate and nothing will ever address it again",
+      diag({CheckKind::kLeakedThread, true, m_.now(), nw, tid, l.create_label,
+            0, l.create_seq,
+            strfmt("thread context [NWID %u][TID %u] (%s thread, creation #%llu "
+                   "@%llu on lane %u) is still live at drain: some handler returned "
+                   "without yield_terminate and nothing will ever address it again",
                    nw, tid, ev_name(l.create_label).c_str(),
-                   static_cast<unsigned long long>(l.created_at))});
+                   static_cast<unsigned long long>(l.create_seq),
+                   static_cast<unsigned long long>(l.created_at), l.nwid)});
     }
   }
 
   // Fresh drain-state gauges (recomputed each report, not accumulated).
-  counts_.undelivered_messages = m_.idle() ? 0 : m_.shard0().queue.size();
+  std::uint64_t undelivered = 0;
+  if (!m_.idle()) {
+    for (const auto& shp : m_.shards_) {
+      undelivered += shp->queue.size();
+      for (const auto& box : shp->outbox)
+        undelivered += box.msgs.size() + box.drams.size();
+    }
+  }
+  counts_.undelivered_messages = undelivered;
   if (counts_.undelivered_messages) {
     diag({CheckKind::kUndeliveredMessages, true, m_.now(), 0, 0, 0, 0, 0,
           strfmt("report with %llu message(s) still queued: the machine is not "
@@ -697,6 +1673,7 @@ void Checker::report() {
 
   counts_.enabled = true;
   counts_.sp_strict = sp_strict_;
+  counts_.shadow_peak_bytes = shadow_peak_bytes_;
   m_.stats_.check = counts_;
 
   if (counts_.errors() || dropped_diags_) {
@@ -715,6 +1692,53 @@ void Checker::report() {
   // race with the previous phase. Sync cells carry no cross-era information.
   ++era_;
   sync_clocks_.clear();
+
+  if (m_.idle()) {
+    // Full shadow wipe at quiescence. Every pre-drain stamp is ordered before
+    // everything the next era runs (the era check in ordered()), so the
+    // shadow carries no information forward — drop it, release the refcounts
+    // it held (at idle, shadow stamps and leftover metadata slots are the
+    // only holders), and retire every dead lifetime so the id space is
+    // compact again for the next phase.
+    dram_shadow_.clear();
+    for (auto& v : sp_shadow_) v.reset();
+    reader_pool_.clear();
+    reader_pool_free_.clear();
+    shadow_bytes_ = 0;  // the peak gauge survives
+    // The snapshot pool is dropped wholesale (clocks carry no cross-era
+    // information: the era check already orders everything pre-drain before
+    // everything after), so every SnapId holder must be nulled first.
+    for (auto& mm : msg_meta_) {
+      mm.snap = kNoSnap;
+      mm.ext = InlineVC{};
+      mm.host_ep = 0;
+      mm.holds_refs = false;
+    }
+    for (auto& dm : dram_meta_) {
+      dm.snap = kNoSnap;
+      dm.ext = InlineVC{};
+      dm.host_ep = 0;
+      dm.holds_ref = false;
+    }
+    msg_stash_.clear();   // (ent, seq) keys are monotonic: stale entries can
+    dram_stash_.clear();  // never be matched again, they are pure leaks
+    origin_snap_ = kNoSnap;
+    origin_ext_ = InlineVC{};
+    origin_host_ep_ = 0;
+    origin_stack_.clear();
+    for (Lifetime& l : lifetimes_) {
+      l.clock = kNoSnap;
+      l.last = InlineVC{};
+      l.host_ep = 0;
+    }
+    snap_pool_.clear();
+    snap_free_.clear();
+    for (LifetimeId i = 1; i < lifetimes_.size(); ++i) {
+      Lifetime& l = lifetimes_[i];
+      l.refs = 0;
+      if (!l.alive && !l.retired) retire(i);
+    }
+  }
 }
 
 }  // namespace updown

@@ -7,11 +7,16 @@
 // together (see DESIGN.md "udcheck internals"):
 //
 //   1. Happens-before race detector. Each thread-context lifetime carries a
-//      sparse vector clock; send->receive edges (messages, DRAM round trips,
-//      thread creation) join clocks, and each accessed DRAM word keeps a
-//      shadow cell (last writer + readers since) whose stamps are compared
-//      for ordering. Scratchpad accesses are lane-serialized by construction
-//      and only checked under UD_CHECK_SP_STRICT (ordering-hazard mode).
+//      FastTrack-style clock: a single (lifetime, epoch) pair covers the
+//      common same-lifetime chain, and a small sorted epoch vector is kept
+//      only for the cross-lifetime knowledge a task actually acquires.
+//      Lifetime ids come from a compact recycling allocator, so the id space
+//      — and with it every clock entry and shadow stamp — stays dense.
+//      Send->receive edges (messages, DRAM round trips, thread creation)
+//      join clocks; each accessed DRAM word keeps a shadow cell (last writer
+//      + readers since) in page-granular flat shadow arrays materialized on
+//      first touch. Scratchpad accesses are lane-serialized by construction
+//      and only race-checked under UD_CHECK_SP_STRICT.
 //
 //   2. Memory-lifetime sanitizer. dram_malloc/dram_free lifecycles come in
 //      through the MemoryObserver interface; every DRAM request is validated
@@ -29,21 +34,32 @@
 // timing, routing, or statistics unless a violation is found (violating
 // accesses/deliveries are suppressed so the simulation can continue and
 // report instead of corrupting host memory or crashing).
+//
+// Sharded execution (UD_SHARDS > 1) runs the checker in *deferred window
+// replay* mode: during the exec phase each engine shard appends compact
+// per-shard records of its hook stream, and at every window boundary shard 0
+// merges the completed window's records in the engine's own deterministic
+// (tick, sending entity, sender seq) order and replays them through the
+// serial analysis core. Check-clean runs stay bit-identical for any shard
+// count, and cross-shard races are reported with both shards' stamps.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
 #include "mem/global_memory.hpp"
+#include "sim/message.hpp"
 #include "sim/stats.hpp"
 
 namespace updown {
 
 class Machine;
+struct EngineShard;
 
 enum class CheckKind : std::uint8_t {
   kDataRace,           ///< unordered DRAM write-write / read-write pair
@@ -77,19 +93,58 @@ struct CheckDiagnostic {
   std::string message;          ///< fully formatted human-readable report
 };
 
+/// One deferred-mode hook record. The engine shards append these during the
+/// exec phase (56B each, no heap traffic); shard 0 merges and replays them at
+/// the next window boundary. Group-begin kinds carry the (t, ent, seq) queue
+/// key of the event being executed; all other kinds are nested inside the
+/// most recent group of their shard's log.
+struct CheckRec {
+  enum Kind : std::uint8_t {
+    kHostSend,        ///< group: a host injection (key = (now, host ent, seq))
+    kBeginMsg,        ///< group: a message delivery popped from the queue
+    kBeginDram,       ///< group: a DRAM request being serviced
+    kRouteMsg,        ///< nested: a message was routed (same- or cross-shard)
+    kRouteDram,       ///< nested: a DRAM request was routed
+    kBadRoute,        ///< nested: event word addressed a lane beyond the machine
+    kPreDeliverFail,  ///< nested: the engine suppressed this delivery online
+    kClassMismatch,   ///< nested: delivery hit a thread of another class
+    kTaskBegin,       ///< nested: handler entered
+    kTaskEnd,         ///< nested: handler returned
+    kDramExec,        ///< nested: request serviced (b = online sanitize verdict)
+    kDramFault,       ///< nested: sanitize fault details (follows kDramExec b=0)
+    kDramReplyBegin,  ///< nested: reply message about to be routed
+    kDramDone,        ///< nested: DRAM service complete
+    kSpAccess,        ///< nested: scratchpad access (strict mode / OOB)
+    kSyncRelease,     ///< nested: lane-local sync cell release
+    kSyncAcquire,     ///< nested: lane-local sync cell acquire
+    kInlineBegin,     ///< nested: deliver_inline opened (stack push)
+    kInlineSuppress,  ///< nested: inline delivery suppressed (closes the push)
+    kInlineEnd        ///< nested: inline delivery complete (stack pop)
+  };
+  std::uint8_t kind = 0;
+  std::uint8_t b = 0;
+  std::uint16_t c = 0;
+  std::uint32_t d = 0;
+  std::uint64_t w[6] = {0, 0, 0, 0, 0, 0};
+};
+
 class Checker final : public MemoryObserver {
  public:
-  Checker(Machine& m, bool sp_strict);
+  Checker(Machine& m, bool sp_strict, std::uint32_t nshards);
   ~Checker() override;
 
   Checker(const Checker&) = delete;
   Checker& operator=(const Checker&) = delete;
 
   bool sp_strict() const { return sp_strict_; }
+  /// Sharded engines run the checker in deferred window-replay mode: hooks
+  /// log records online and shard 0 replays them at window boundaries.
+  bool deferred() const { return nshards_ > 1; }
 
-  // ---- Routing hooks (called by Machine on the send path) -----------------
-  /// The host (TOP core) is about to inject a message.
-  void on_host_send();
+  // ---- Routing hooks (serial engine; also driven by the replay) ------------
+  /// The host (TOP core) is about to inject a message. In deferred mode this
+  /// opens a replay group keyed by the host's queue identity.
+  void on_host_send(Tick now, std::uint32_t ent, std::uint32_t seq);
   /// A message landed in pool slot `idx`; stamp it with the sender's clock
   /// and lint the send (target liveness, operand count, obligations).
   void on_route_message(std::uint32_t idx, Tick depart);
@@ -98,8 +153,8 @@ class Checker final : public MemoryObserver {
   /// requests to node 0 instead of throwing).
   void on_route_dram(std::uint32_t idx, bool addr_mapped, Tick depart);
   /// Event word addressed a lane beyond the machine; returns true when the
-  /// send was reported and should be dropped.
-  bool on_bad_route(Word evw, Tick depart);
+  /// send was reported (or recorded, in deferred mode) and should be dropped.
+  bool on_bad_route(EngineShard& sh, Word evw, Tick depart);
 
   // ---- Delivery / execution hooks -----------------------------------------
   /// Validate delivery of pooled message `idx`; false => suppress (the
@@ -125,9 +180,10 @@ class Checker final : public MemoryObserver {
   void on_dram_done(std::uint32_t idx);
 
   /// Scratchpad access from a running handler. Returns false when the access
-  /// is out of bounds and must be suppressed (reads return 0).
-  bool on_sp_access(NetworkId lane, std::uint64_t offset, std::size_t bytes,
-                    bool is_write, Tick now);
+  /// is out of bounds and must be suppressed (reads return 0). Internally
+  /// branches on the engine mode (serial check vs deferred record).
+  bool on_sp_access(EngineShard& sh, NetworkId lane, std::uint64_t offset,
+                    std::size_t bytes, bool is_write, Tick now);
 
   /// Lane-local synchronization cells (Ctx::sync_release / sync_acquire):
   /// an atomic scratchpad counter or flag is a real happens-before edge the
@@ -136,8 +192,8 @@ class Checker final : public MemoryObserver {
   /// sending, and a later poll task on the same lane reads the counter and
   /// reports to the master. Release merges the running task's clock into the
   /// cell; acquire merges the cell into the running task.
-  void on_sync_release(NetworkId lane, std::uint64_t slot);
-  void on_sync_acquire(NetworkId lane, std::uint64_t slot);
+  void on_sync_release(EngineShard& sh, NetworkId lane, std::uint64_t slot);
+  void on_sync_acquire(EngineShard& sh, NetworkId lane, std::uint64_t slot);
 
   /// Save / restore the scoped message origin around an inline delivery
   /// (Machine::deliver_inline): the nested task's begin/end hooks overwrite
@@ -146,6 +202,47 @@ class Checker final : public MemoryObserver {
   /// nested on_task_end. Nesting depth follows the inline call depth.
   void push_origin();
   void pop_origin();
+
+  // ---- Deferred-mode engine hooks (sharded execution) ----------------------
+  // Each appends a record to the executing shard's log and returns the online
+  // verdict the engine needs for control flow. Verdicts are computed from
+  // engine-owned state only (lane liveness, the program table, descriptor
+  // snapshots), so the engine behaves exactly like an unchecked sharded run
+  // on check-clean inputs. The analysis itself happens at replay.
+  void defer_route_message(EngineShard& sh, std::uint32_t ent, std::uint32_t seq,
+                           const Message& m, Tick depart);
+  void defer_route_dram(EngineShard& sh, std::uint32_t ent, std::uint32_t seq,
+                        const DramRequest& r, bool addr_mapped, Tick depart);
+  /// Opens the delivery group for queue entry (t, ent, seq); returns false
+  /// when the engine must suppress the delivery (bad label / dead target).
+  bool defer_pre_deliver(EngineShard& sh, Tick t, std::uint32_t ent, std::uint32_t seq,
+                         const Message& m, Tick start);
+  void defer_class_mismatch(EngineShard& sh, NetworkId lane, ThreadId tid, Tick start);
+  void defer_task_begin(EngineShard& sh, NetworkId lane, ThreadId tid, EventLabel label,
+                        Tick start, bool new_thread);
+  void defer_task_end(EngineShard& sh, NetworkId lane, ThreadId tid, bool terminated);
+  /// Opens the DRAM service group for queue entry (t, ent, seq).
+  void defer_dram_begin(EngineShard& sh, Tick t, std::uint32_t ent, std::uint32_t seq);
+  /// Online sanitize through the shard's descriptor snapshot; false =>
+  /// suppress the physical access (the fault details ride in the log and the
+  /// diagnostic is emitted at replay).
+  bool defer_dram_exec(EngineShard& sh, const DramRequest& r, Tick now);
+  void defer_dram_reply_begin(EngineShard& sh);
+  void defer_dram_done(EngineShard& sh);
+  /// Inline delivery in deferred mode; returns false when suppressed online.
+  bool defer_inline_begin(EngineShard& sh, const Message& m, Tick start);
+  void defer_inline_class_mismatch(EngineShard& sh, NetworkId lane, ThreadId tid,
+                                   Tick start);
+  void defer_inline_end(EngineShard& sh);
+
+  /// Shard 0, at a window boundary (between inbox merge and barrier A): merge
+  /// all shards' completed-window records in (t, ent, seq) order and replay
+  /// them through the serial analysis core. Also called once at run() exit as
+  /// a drain safety net.
+  void replay_pending();
+  /// A sharded run aborted: drop half-replayed window logs and stashed
+  /// in-flight clock state so the next run starts clean.
+  void reset_deferred();
 
   // ---- MemoryObserver (allocation lifecycle) ------------------------------
   void on_alloc(const SwizzleDescriptor& d) override;
@@ -164,30 +261,80 @@ class Checker final : public MemoryObserver {
 
  private:
   // ---- Vector clocks -------------------------------------------------------
-  using LifetimeId = std::uint64_t;
+  // Lifetime ids are recycled through a free list, so the live id space stays
+  // compact at any machine scale. Correctness of recycling rests on two
+  // rules: (1) anything that must keep a lifetime's *identity* (shadow
+  // stamps, in-flight message/DRAM metadata) holds a refcount, and an id is
+  // only recycled once dead and unreferenced; (2) epoch counters continue
+  // across occupancies and `base_epoch` records the boundary, so an un-
+  // refcounted clock entry from an earlier occupancy is recognizably stale
+  // (its epoch is below base_epoch) and can never falsely order against the
+  // current occupant.
+  using LifetimeId = std::uint32_t;
   static constexpr LifetimeId kHostLifetime = 0;
-  static constexpr LifetimeId kNoLifetime = ~0ull;
+  static constexpr LifetimeId kNoLifetime = 0xFFFFFFFFu;
 
   struct VCEntry {
     LifetimeId lt;
     std::uint32_t epoch;
   };
   using VC = std::vector<VCEntry>;  ///< sorted by lt
-  using Snapshot = std::shared_ptr<const VC>;
+  static constexpr VCEntry kNoEntry{kNoLifetime, 0};
+
+  /// The inline portion of an effective clock: the two most recently acquired
+  /// entries, held outside the pool. Two slots because the dominant delivery
+  /// shape (a task spawned by a task that was itself just spawned) hands the
+  /// receiver its parent's stamp plus the parent's own inline knowledge — the
+  /// grandparent. One slot would spill to the pooled clock on roughly every
+  /// other hop of a spawn chain, and a single spill is contagious: every
+  /// descendant then inherits a non-empty snapshot and pays the merge scan.
+  /// e0 is older than e1; spills evict e0.
+  struct InlineVC {
+    VCEntry e0 = kNoEntry;
+    VCEntry e1 = kNoEntry;
+  };
+
+  // ---- Snapshot pool -------------------------------------------------------
+  // Clocks are immutable, refcounted VCs held in a pooled slab and addressed
+  // by index. A lifetime's clock, the snapshots pinned to in-flight messages
+  // and DRAM requests, and the replay's origin state all share slots, so a
+  // send is a refcount bump (no copy) and a join builds its result in a
+  // recycled buffer — the message hot path allocates nothing in steady state.
+  // kNoSnap denotes the empty clock.
+  using SnapId = std::uint32_t;
+  static constexpr SnapId kNoSnap = 0xFFFFFFFFu;
+  struct SnapSlot {
+    VC vc;
+    std::uint32_t refs = 0;
+  };
 
   /// One thread-context lifetime (allocate_thread .. deallocate_thread).
   /// Same-lifetime events are serialized by the lane, so a lifetime is one
-  /// chain in the happens-before chain decomposition.
+  /// chain in the happens-before chain decomposition; its own position is the
+  /// implicit (id, epoch) FastTrack pair and `clock` holds only acquired
+  /// cross-lifetime knowledge.
   struct Lifetime {
-    VC vc;             ///< knowledge of *other* lifetimes (self is implicit)
-    Snapshot snap;     ///< cached copy-on-write snapshot of vc
-    std::uint32_t epoch = 1;  ///< bumped after every send (release)
-    std::uint32_t refs = 0;   ///< shadow stamps + in-flight DRAM stamps
+    SnapId clock = kNoSnap;  ///< knowledge of *other* lifetimes (self implicit)
+    /// FastTrack fast path: the most recently acquired stamps, held inline.
+    /// The dominant deliveries (fresh thread, repeat sender, spawn chain)
+    /// absorb the sender's knowledge here without touching the pool; only
+    /// genuine fan-in (a third concurrent edge) spills into the pooled clock.
+    /// The effective clock is snap_vc(clock) ∪ last ∪ {(host, host_ep)}.
+    InlineVC last;
+    /// Knowledge of the host chain, hoisted out of the VCs. The host lifetime
+    /// never dies, so a (host, e) entry would never prune — one immortal
+    /// entry in every clock would force the slow merge path on every hop.
+    std::uint32_t host_ep = 0;
+    std::uint32_t epoch = 1;       ///< bumped after every send (release)
+    std::uint32_t base_epoch = 0;  ///< first epoch of the current occupancy
+    std::uint32_t refs = 0;        ///< shadow stamps + in-flight metadata
     bool alive = true;
+    bool retired = false;  ///< id parked on the free list
     NetworkId nwid = 0;
     ThreadId tid = 0;
     EventLabel create_label = 0;
     Tick created_at = 0;
+    std::uint64_t create_seq = 0;  ///< global thread-creation order (1-based)
   };
 
   /// A clock reading attached to a message / DRAM request / shadow cell.
@@ -195,30 +342,50 @@ class Checker final : public MemoryObserver {
     LifetimeId lt = kNoLifetime;
     std::uint32_t epoch = 0;
     std::uint32_t era = 0;
-    EventLabel label = 0;  ///< event that produced the stamp (diagnostics)
+    EventLabel label = 0;      ///< event that produced the stamp (diagnostics)
+    std::uint16_t shard = 0;   ///< engine shard that executed it (diagnostics)
     Tick tick = 0;
   };
 
   struct MsgMeta {
     Stamp stamp;
-    Snapshot snap;
+    SnapId snap = kNoSnap;  ///< sender's pooled clock at send time (one pool ref)
+    InlineVC ext;           ///< sender's inline `last` entries (un-refcounted)
+    std::uint32_t host_ep = 0;  ///< sender's host-chain knowledge
     LifetimeId target = kNoLifetime;  ///< expected lifetime of an existing target
     bool from_dram = false;
     bool cont_pending = false;  ///< cont word is a live obligation in transit
     bool suppress = false;      ///< reported at send; drop silently on arrival
+    bool holds_refs = false;    ///< stamp.lt / target are refcount-pinned
   };
 
   struct DramMeta {
     Stamp stamp;
-    Snapshot snap;
+    SnapId snap = kNoSnap;  ///< requester's pooled clock at issue (one pool ref)
+    InlineVC ext;           ///< requester's inline `last` entries (un-refcounted)
+    std::uint32_t host_ep = 0;  ///< requester's host-chain knowledge
     bool addr_mapped = true;
     bool cont_pending = false;
     bool holds_ref = false;  ///< we incref'd stamp.lt for the flight
   };
 
+  // ---- Shadow memory -------------------------------------------------------
+  // Flat page-granular shadow arrays, materialized on first touch (the same
+  // discipline LaneTable uses for lane cores): a DRAM word's cell is two
+  // array indexations instead of a hash probe, and a multi-word request
+  // resolves its page once per crossing instead of hashing per word. The
+  // common cell holds its readers inline (one slot); genuinely contended
+  // cells promote to a pooled overflow list.
   struct ShadowCell {
     Stamp write;
-    std::vector<Stamp> readers;  ///< readers since the last write (capped)
+    Stamp read0;  ///< inline reader slot (lt == kNoLifetime => empty)
+    std::uint32_t overflow = 0xFFFFFFFFu;  ///< reader_pool_ index, or none
+  };
+  static constexpr std::uint32_t kNoOverflow = 0xFFFFFFFFu;
+  static constexpr unsigned kShadowPageShift = 9;  ///< 512 words (4 KiB VA) per page
+  static constexpr std::size_t kShadowPageWords = 1u << kShadowPageShift;
+  struct ShadowPage {
+    ShadowCell cells[kShadowPageWords];
   };
   static constexpr std::size_t kMaxReaders = 8;
 
@@ -232,28 +399,116 @@ class Checker final : public MemoryObserver {
   // Clock algebra.
   static std::uint32_t vc_get(const VC& vc, LifetimeId lt);
   bool prunable(LifetimeId lt) const;
-  /// Sorted merge of `src` into `dst` (pointwise max), skipping `self` and
-  /// pruning dead+unreferenced entries; returns whether `dst` changed.
+  /// A clock entry that can never order anything again: its lifetime is dead
+  /// and unreferenced, or the entry predates the id's current occupancy.
+  bool dead_entry(const VCEntry& e) const;
+  /// Would a pointwise-max merge of `src` into `dst` (skipping `self`,
+  /// pruning dead/stale entries) change `dst`? Scan-only, allocates nothing.
+  bool merge_would_change(const VC& dst, const VC& src, LifetimeId self) const;
+  /// Append the merged (pointwise max, `self` skipped, dead entries pruned)
+  /// clock of `dst` and `src` to `out`. `out` must not alias either input.
+  void merge_build(VC& out, const VC& dst, const VC& src, LifetimeId self) const;
+  /// Sorted merge of `src` into `dst` via the scratch buffer; returns whether
+  /// `dst` changed. Used for the mutable sync-cell clocks only — lifetime
+  /// clocks are immutable pool snapshots rebuilt by clock_join.
   bool merge_vc(VC& dst, const VC& src, LifetimeId self);
   /// Raise `vc[lt]` to at least `epoch`; returns whether `vc` changed.
   static bool vc_upsert(VC& vc, LifetimeId lt, std::uint32_t epoch);
-  void join_into(LifetimeId dst, const Snapshot& snap, const Stamp& src);
-  const Snapshot& snapshot_of(LifetimeId lt);
-  /// Is stamp `a` ordered before an observer whose clock is (`lt`, `vc`)?
-  bool ordered(const Stamp& a, LifetimeId lt, const VC& vc) const;
+
+  // Snapshot pool plumbing. snap_ref/snap_unref accept kNoSnap (no-ops); a
+  // slot whose refcount hits zero parks on the free list with its buffer
+  // intact, so steady-state joins recycle capacity instead of calling malloc.
+  const VC& snap_vc(SnapId id) const;
+  void snap_ref(SnapId id);
+  void snap_unref(SnapId id);
+  SnapId snap_new();  ///< fresh slot, refs = 1, empty (capacity-retaining) vc
+  void snap_clear(SnapId& slot);                ///< unref + reset to kNoSnap
+  void snap_assign(SnapId& slot, SnapId v);     ///< ref-maintaining overwrite
+  /// Rebuild `lt`'s immutable pooled clock as clock ∪ src (∪ {stamp} if
+  /// non-null), if that changes it; the old clock is released to the pool.
+  void clock_join(LifetimeId lt, const VC& src, const Stamp* stamp);
+  /// Absorb one clock entry into `dst`'s effective clock, preferring the
+  /// inline `last` slots (no pool op); genuine fan-in beyond two live edges
+  /// spills the oldest slot into the pooled clock.
+  void absorb(LifetimeId dst, VCEntry e);
+  /// Drop dead/stale entries from `vc` in place (exclusive slots only).
+  void prune_dead(VC& vc) const;
+  /// Join a message's clock view into `dst`. `snap` is OWNED: the caller's
+  /// pool ref transfers in (adopted by a fresh receiver, or released).
+  void join_into(LifetimeId dst, SnapId snap, const InlineVC& ext,
+                 std::uint32_t host_ep, const Stamp& src);
+  /// The sender's current pooled clock as a pool reference (caller owns one
+  /// ref); the inline remainder of the effective clock is its `last` pair.
+  SnapId clock_snapshot(LifetimeId lt);
+  /// A borrowed view of an effective clock: pooled VC ∪ ext ∪ {(host,
+  /// host_ep)}. Built on the stack from a lifetime or in-flight metadata.
+  struct ClockView {
+    const VC* vc;
+    InlineVC ext;
+    std::uint32_t host_ep;
+  };
+
+  /// Is stamp `a` ordered before an observer whose effective clock is
+  /// (`lt`, `view`)?
+  bool ordered(const Stamp& a, LifetimeId lt, const ClockView& view) const;
 
   void stamp_ref(LifetimeId lt);
   void stamp_unref(LifetimeId lt);
   void set_stamp(Stamp& slot, const Stamp& s);   ///< ref-maintaining overwrite
-  void add_reader(ShadowCell& cell, const Stamp& s);
+  void add_reader(ShadowCell& cell, const Stamp& s, const ClockView& view);
+  void clear_readers(ShadowCell& cell);
 
   LifetimeId new_lifetime(NetworkId nwid, ThreadId tid, EventLabel label, Tick t);
+  /// Park a dead, unreferenced lifetime's id on the free list; records the
+  /// occupancy boundary (base_epoch) and releases the thread-slot mapping.
+  void retire(LifetimeId lt);
+  void maybe_retire(LifetimeId lt);
   LifetimeId& slot_lifetime(NetworkId nwid, ThreadId tid);
   bool slot_alive(NetworkId nwid, ThreadId tid) const;
 
-  /// Race-check + update one shadow cell; `cur`'s clock is (`cur.lt`, vc).
-  void check_access(ShadowCell& cell, const Stamp& cur, const VC& vc, bool is_write,
-                    bool is_sp, Addr va);
+  // Shadow cell addressing (first-touch materialization).
+  ShadowPage& dram_page(std::uint64_t page);
+  ShadowCell& sp_cell(NetworkId lane, std::uint64_t word);
+  void note_shadow_bytes(std::uint64_t bytes);
+
+  /// Race-check + update one shadow cell; `cur`'s effective clock is
+  /// (`cur.lt`, `view`).
+  void check_access(ShadowCell& cell, const Stamp& cur, const ClockView& view,
+                    bool is_write, bool is_sp, Addr va);
+  /// Race-check a word run of a DRAM request (shared by the serial hook and
+  /// the deferred replay).
+  void dram_race_words(DramMeta& meta, Addr addr, unsigned nwords, bool is_write,
+                       Tick now);
+  /// UAF/OOB diagnostic for a sanitize fault (freed == nullptr => OOB).
+  void dram_fault_diag(const Stamp& s, unsigned nwords, bool is_write, Addr va,
+                       const FreedRegion* freed, Tick now);
+  /// Serial scratchpad access path (bounds + optional strict race check).
+  bool sp_access_check(NetworkId lane, std::uint64_t offset, std::size_t bytes,
+                       bool is_write, Tick now);
+  void sync_release_check(NetworkId lane, std::uint64_t slot);
+  void sync_acquire_check(NetworkId lane, std::uint64_t slot);
+
+  // Analysis core, metadata-addressed: the public idx hooks (serial engine)
+  // and the deferred replay both drive these. The replay materializes its
+  // Message / metadata operands from log records and the (ent, seq) stash, so
+  // it never touches the engine's payload pools.
+  void route_message_m(MsgMeta& meta, const Message& m, Tick depart);
+  void route_dram_m(DramMeta& meta, const DramRequest& r, bool addr_mapped, Tick depart);
+  bool pre_deliver_m(MsgMeta& meta, const Message& m, Tick start);
+  void class_mismatch_m(MsgMeta& meta, const Message& m, NetworkId lane, ThreadId tid,
+                        Tick start);
+  void task_begin_m(MsgMeta& meta, const Message& m, NetworkId lane, ThreadId tid,
+                    EventLabel label, Tick start, bool new_thread);
+  void begin_dram_reply_m(DramMeta& meta);
+  void dram_done_m(DramMeta& meta);
+  void bad_route_diag(Word evw, Tick depart);
+
+  // Meta lifecycle. Message metadata pins both the sender's lifetime (so
+  // diagnostics after delivery still name the true sender) and the expected
+  // target lifetime (so an id recycled while the message is in flight cannot
+  // alias the staleness check). Release is idempotent.
+  void acquire_msg_refs(MsgMeta& meta);
+  void release_msg_meta(MsgMeta& meta);
 
   // Continuation obligations.
   void register_cont(Word cont, NetworkId lane, Tick t);
@@ -267,27 +522,41 @@ class Checker final : public MemoryObserver {
   MsgMeta& msg_meta(std::uint32_t idx);
   DramMeta& dram_meta(std::uint32_t idx);
 
+  // Deferred-mode internals.
+  std::vector<CheckRec>& log_of(EngineShard& sh);
+  void replay_group(std::uint32_t shard, const std::vector<CheckRec>& log,
+                    std::size_t begin, std::size_t end);
+  void drain_bad_frees();
+
   Machine& m_;
   const bool sp_strict_;
+  const std::uint32_t nshards_;
 
   std::vector<Lifetime> lifetimes_;  ///< index = LifetimeId; [0] is the host
+  std::vector<LifetimeId> free_ids_; ///< retired ids awaiting reuse
+  std::uint64_t create_seq_ = 0;     ///< thread-creation counter (leak diags)
   std::vector<std::vector<LifetimeId>> slot_lt_;  ///< per lane, per tid (lazy rows)
   std::uint32_t era_ = 1;  ///< bumped at every full drain (report)
 
-  // Origin of the message/request currently being routed. Execution is
-  // single-threaded, so one scoped origin per Machine suffices.
+  // Origin of the message/request currently being routed. The analysis core
+  // is single-threaded (serial engine, or the replay on shard 0), so one
+  // scoped origin per Machine suffices.
   enum class Origin : std::uint8_t { kNone, kHost, kTask, kDramReply };
   Origin origin_ = Origin::kNone;
   Stamp origin_stamp_;       ///< valid for kTask (current task's lifetime)
-  Snapshot origin_snap_;     ///< valid for kDramReply
+  SnapId origin_snap_ = kNoSnap;  ///< valid for kDramReply (one pool ref)
+  InlineVC origin_ext_;      ///< valid for kDramReply (inline entries)
+  std::uint32_t origin_host_ep_ = 0;  ///< valid for kDramReply
   bool origin_cont_pending_ = false;  ///< valid for kDramReply
 
   /// Saved origins for nested inline deliveries (Machine::deliver_inline).
-  /// Stamp carries no refcount, so a plain copy is a valid save.
+  /// Stamp carries no refcount; the snap slot's pool ref moves with the save.
   struct SavedOrigin {
     Origin origin;
     Stamp stamp;
-    Snapshot snap;
+    SnapId snap;
+    InlineVC ext;
+    std::uint32_t host_ep;
     bool cont_pending;
   };
   std::vector<SavedOrigin> origin_stack_;
@@ -295,11 +564,48 @@ class Checker final : public MemoryObserver {
   std::vector<MsgMeta> msg_meta_;
   std::vector<DramMeta> dram_meta_;
 
-  std::unordered_map<std::uint64_t, ShadowCell> dram_shadow_;  ///< key: va >> 3
-  std::unordered_map<std::uint64_t, ShadowCell> sp_shadow_;    ///< (lane<<32)|word
-  std::unordered_map<std::uint64_t, VC> sync_clocks_;          ///< (lane<<32)|slot
+  // Snapshot pool (see SnapSlot above) and the shared merge scratch buffer.
+  std::vector<SnapSlot> snap_pool_;
+  std::vector<SnapId> snap_free_;
+  VC scratch_vc_;
+  VC sync_scratch_vc_;  ///< host-stripped sync-cell clock (acquire slow path)
+
+  // Flat shadow directories (first-touch pages; see ShadowPage above).
+  std::vector<std::unique_ptr<ShadowPage>> dram_shadow_;  ///< [va >> 3 >> 9]
+  std::vector<std::unique_ptr<std::vector<ShadowCell>>> sp_shadow_;  ///< per lane
+  std::vector<std::vector<Stamp>> reader_pool_;  ///< overflow reader lists
+  std::vector<std::uint32_t> reader_pool_free_;
+  std::uint64_t shadow_bytes_ = 0;       ///< resident shadow bytes right now
+  std::uint64_t shadow_peak_bytes_ = 0;  ///< high-water mark across the run
+
+  std::unordered_map<std::uint64_t, VC> sync_clocks_;  ///< (lane<<32)|slot
 
   std::unordered_map<Word, PendingCont> pending_conts_;
+
+  // Deferred (sharded) mode: per-shard hook logs, in-flight clock state keyed
+  // by the sender's (entity, seq) identity, and the shard currently being
+  // replayed (stamped into clocks for cross-shard race attribution).
+  std::vector<std::vector<CheckRec>> logs_;
+  std::unordered_map<std::uint64_t, MsgMeta> msg_stash_;
+  struct DramStash {
+    DramMeta meta;
+    Addr addr = 0;
+    std::uint8_t nwords = 0;
+    bool is_write = false;
+  };
+  std::unordered_map<std::uint64_t, DramStash> dram_stash_;
+  std::uint16_t replay_shard_ = 0;
+
+  /// Bad-free reports can arrive from any shard thread (a task calling
+  /// dram_free); they are queued under a mutex and folded in at report time.
+  struct BadFree {
+    Addr base;
+    bool double_free;
+    std::string head;
+    Tick tick;
+  };
+  std::mutex bad_free_mu_;
+  std::vector<BadFree> bad_free_pending_;
 
   CheckSummary counts_;
   std::vector<CheckDiagnostic> diags_;

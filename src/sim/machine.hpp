@@ -90,6 +90,7 @@ struct EngineShard {
     std::vector<MailDram> drams;
   };
 
+  std::uint32_t id = 0;  ///< this shard's index (checker log addressing)
   CalendarEventQueue queue;
   SlabPool<Message> msg_pool;
   SlabPool<DramRequest> dram_pool;
@@ -143,7 +144,8 @@ class Machine {
 
   // ---- Sharding -------------------------------------------------------------
   /// Host threads the engine runs on (resolved from UD_SHARDS /
-  /// MachineConfig::shards, clamped to the node count; 1 when checking).
+  /// MachineConfig::shards, clamped to the node count). Checked runs shard
+  /// too: udcheck defers its analysis to a window-boundary replay.
   std::uint32_t shards() const { return nshards_; }
   /// Owning shard of `node`. Starts as the round-robin partition
   /// (node % shards); work stealing (UD_STEAL) remaps it at window
@@ -267,8 +269,8 @@ class Machine {
                      Message&& m, Tick depart, const Word* bulk = nullptr);
   void route_dram(EngineShard& sh, std::uint32_t ent, std::uint32_t seq,
                   DramRequest&& r, Tick depart);
-  void exec_message(EngineShard& sh, std::uint32_t pool_index, Tick arrive);
-  void exec_dram(EngineShard& sh, std::uint32_t pool_index, Tick arrive);
+  void exec_message(EngineShard& sh, const QEntry& e);
+  void exec_dram(EngineShard& sh, const QEntry& e);
   /// Run `m`'s handler synchronously on the current lane, bypassing the
   /// network and the event queue — the KVMSR packet unpacker spawning one
   /// reduce thread per packed tuple. The event word must address the lane the
@@ -334,6 +336,9 @@ class Machine {
   Tick now_ = 0;
   MachineStats stats_;
   std::unique_ptr<Checker> checker_;  ///< null unless checking is enabled
+  /// Checked + sharded: hooks record per-shard logs, shard 0 replays them at
+  /// window boundaries (Checker::deferred()). Cached here for the hot path.
+  bool ck_defer_ = false;
   std::unique_ptr<Tracer> tracer_;    ///< null unless tracing is enabled
   std::shared_ptr<void> user_;
   void* user_ptr_ = nullptr;

@@ -47,6 +47,9 @@ struct CheckSummary {
   std::uint64_t leaked_allocations = 0;    ///< live DRAM regions at drain
   std::uint64_t unfired_continuations = 0; ///< delivered conts never sent
 
+  // Gauges (not part of errors()/warnings()/clean()).
+  std::uint64_t shadow_peak_bytes = 0;  ///< peak resident shadow-memory bytes
+
   std::uint64_t errors() const {
     return data_races + sp_races + out_of_bounds + use_after_free + bad_frees +
            dead_thread_sends + stale_deliveries + bad_event_words +
@@ -116,8 +119,9 @@ struct MachineStats {
   /// two engine gauges (`max_queue_depth`, `max_live_threads`) combine by
   /// max, i.e. the peak any single shard observed — exact when shards == 1,
   /// a per-shard view otherwise (the determinism goldens exclude them).
-  /// `check` is left alone — the checker runs serial-only and writes its
-  /// summary into the machine total directly.
+  /// `check` is left alone — the checker (serial, or the deferred window
+  /// replay on shard 0) writes its summary into the machine total directly
+  /// at report time; shard delta blocks never carry checker counts.
   void merge(const MachineStats& s) {
     events_executed += s.events_executed;
     charged_cycles += s.charged_cycles;

@@ -21,8 +21,9 @@
 //      bit-identical with and without UD_TRACE.
 //
 //   3. Shard-safe by ownership, deterministic by construction. Unlike
-//      udcheck (whose side tables are engine-global and force shards=1),
-//      the tracer runs under any UD_SHARDS count: every mutable cell is
+//      udcheck (whose engine-global side tables make it defer to a
+//      window-boundary replay when sharded), the tracer needs no replay
+//      under any UD_SHARDS count: every mutable cell is
 //      written by exactly one shard — per-lane series by the lane's owner,
 //      per-node series and matrix rows by the source node's owner, arrival
 //      series by the destination's owner, histograms and phase records into

@@ -5,10 +5,34 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "udweave/context.hpp"
 
 namespace updown {
 namespace {
+
+/// Pin an environment variable for one test (see tests/sim/test_determinism.cpp):
+/// the cross-shard race test must run at UD_SHARDS=4 regardless of ambience.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_ = old != nullptr;
+    if (old) old_ = old;
+    if (value) ::setenv(name, value, 1);
+    else ::unsetenv(name);
+  }
+  ~EnvGuard() {
+    if (had_) ::setenv(name_.c_str(), old_.c_str(), 1);
+    else ::unsetenv(name_.c_str());
+  }
+
+ private:
+  std::string name_, old_;
+  bool had_ = false;
+};
 
 MachineConfig checked_config() {
   MachineConfig cfg = MachineConfig::scaled(1);
@@ -60,6 +84,39 @@ TEST(UdCheck, DetectsDramDataRace) {
   EXPECT_EQ(d->va, app.va);
   EXPECT_GT(d->tick, 0u);
   EXPECT_NE(d->message.find("seed::race_w"), std::string::npos);
+}
+
+// The same seeded race across engine shards: a 4-node machine at UD_SHARDS=4
+// puts each writer's node on its own shard, so the conflicting accesses are
+// recorded in different shard logs and only meet in the window-boundary
+// replay. The race must still be caught, and the diagnostic must attribute
+// both sides to their shards.
+TEST(UdCheck, DetectsCrossShardDramDataRace) {
+  EnvGuard g("UD_SHARDS", "4");
+  MachineConfig cfg = MachineConfig::scaled(4);
+  cfg.check = true;
+  Machine m(cfg);
+  RaceApp& app = m.emplace_user<RaceApp>();
+  app.writer = m.program().event("seed::race_w", &TRaceWriter::w);
+  app.va = m.memory().dram_malloc_spread(256);
+  // Lane 0 lives on node 0 (shard 0); the first lane of the last node lives
+  // on shard 3 under the round-robin node->shard partition.
+  const std::uint32_t far_lane = 3 * cfg.lanes_per_node();
+  m.send_from_host(evw::make_new(0, app.writer), {1});
+  m.send_from_host(evw::make_new(far_lane, app.writer), {2});
+  m.run();
+
+  const CheckSummary& c = m.stats().check;
+  EXPECT_TRUE(c.enabled);
+  EXPECT_GE(c.data_races, 1u);
+  EXPECT_FALSE(c.clean());
+  const CheckDiagnostic* d = find_kind(m, CheckKind::kDataRace);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->va, app.va);
+  // Both shards' stamps: the diagnostic names the executing shard of each
+  // side of the race.
+  EXPECT_NE(d->message.find("[shard 0]"), std::string::npos) << d->message;
+  EXPECT_NE(d->message.find("[shard 3]"), std::string::npos) << d->message;
 }
 
 // ---------------------------------------------------------------------------
@@ -174,6 +231,10 @@ TEST(UdCheck, DetectsLeakedThreadAtDrain) {
   const CheckDiagnostic* d = find_kind(m, CheckKind::kLeakedThread);
   ASSERT_NE(d, nullptr);
   EXPECT_EQ(d->lane, 0u);
+  // Thread lifetimes carry an alloc-site sequence number (creation #N), the
+  // same idea as dram_malloc's alloc #N, so the leak points at its spawn.
+  EXPECT_GT(d->alloc_seq, 0u);
+  EXPECT_NE(d->message.find("creation #"), std::string::npos);
   EXPECT_NE(d->message.find("seed::leak"), std::string::npos);
 }
 

@@ -101,6 +101,9 @@ void fuzz_pagerank(Xoshiro256& rng) {
   const auto oracle = baseline::pagerank(g, opt.iterations, opt.damping);
   for (VertexId v = 0; v < g.num_vertices(); ++v)
     ASSERT_NEAR(r.rank[v], oracle[v], 1e-9) << "pagerank diverged at vertex " << v;
+  if (m.stats().check.enabled) {
+    ASSERT_EQ(m.stats().check.errors(), 0u) << "checker false positive";
+  }
 }
 
 void fuzz_bfs(Xoshiro256& rng) {
@@ -114,6 +117,9 @@ void fuzz_bfs(Xoshiro256& rng) {
     ASSERT_EQ(r.dist[v], oracle.dist[v]) << "bfs distance diverged at vertex " << v;
   ASSERT_EQ(r.traversed_edges, oracle.traversed_edges);
   ASSERT_EQ(r.rounds, oracle.rounds);
+  if (m.stats().check.enabled) {
+    ASSERT_EQ(m.stats().check.errors(), 0u) << "checker false positive";
+  }
 }
 
 void fuzz_tc(Xoshiro256& rng) {
@@ -122,6 +128,9 @@ void fuzz_tc(Xoshiro256& rng) {
   DeviceGraph dg = upload_graph(m, g);
   tc::Result r = tc::App::install(m, dg, {}).run();
   ASSERT_EQ(r.triangles, baseline::triangle_count(g)) << "triangle count diverged";
+  if (m.stats().check.enabled) {
+    ASSERT_EQ(m.stats().check.errors(), 0u) << "checker false positive";
+  }
 }
 
 void fuzz_bucket_sort(Xoshiro256& rng) {
@@ -147,7 +156,30 @@ void fuzz_bucket_sort(Xoshiro256& rng) {
   // order (total lanes is a power of two) — assert against plain sort too.
   std::sort(data.begin(), data.end());
   ASSERT_EQ(sim_sorted, data);
+  if (m.stats().check.enabled) {
+    ASSERT_EQ(m.stats().check.errors(), 0u) << "checker false positive";
+  }
 }
+
+/// Scoped environment pin (restore on destruction), for the checked-sharded
+/// sweep below: UD_CHECK / UD_SHARDS must hold regardless of ambience.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_ = old != nullptr;
+    if (old) old_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~EnvGuard() {
+    if (had_) ::setenv(name_.c_str(), old_.c_str(), 1);
+    else ::unsetenv(name_.c_str());
+  }
+
+ private:
+  std::string name_, old_;
+  bool had_ = false;
+};
 
 /// Scoped UD_COALESCE pin: the shuffle-coalescing factor is itself a fuzzed
 /// dimension (apps read it at job creation), restored after each case so the
@@ -207,6 +239,28 @@ TEST(DifferentialFuzz, SimMatchesBaselines) {
     if (::testing::Test::HasFatalFailure()) {
       // The scoped trace already carries the repro; print it unmissably too.
       std::fprintf(stderr, "[  FUZZ    ] case %d failed — %s\n", i, repro(case_seed).c_str());
+      return;
+    }
+  }
+}
+
+TEST(DifferentialFuzz, CheckedShardedSweep) {
+  // Eight seeded cases under the race checker at UD_SHARDS=4: the deferred
+  // window-boundary replay must neither perturb any baseline-checked result
+  // nor report a false positive on these clean programs (every fuzz_*
+  // asserts errors()==0 when checking is on). Seeds are offset from the main
+  // sweep so the checked corpus is its own slice; any failure replays with
+  //   UD_CHECK=1 UD_SHARDS=4 UD_FUZZ_SEED=<seed> ./tests/test_differential
+  EnvGuard gc("UD_CHECK", "1");
+  EnvGuard gs("UD_SHARDS", "4");
+  const std::uint64_t master = env_u64("UD_FUZZ_MASTER", 0xD1FFC0DEULL);
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t case_seed =
+        splitmix64(master + 0xC4EC0000ULL + static_cast<std::uint64_t>(i));
+    run_case(case_seed);
+    if (::testing::Test::HasFatalFailure()) {
+      std::fprintf(stderr, "[  FUZZ    ] checked case %d failed — %s\n", i,
+                   repro(case_seed).c_str());
       return;
     }
   }

@@ -5,7 +5,8 @@
 // With the host-parallel engine this hardens into a stronger claim, asserted
 // by the matrix below: the (tick, sending entity, sender seq) total order
 // makes every fingerprint bit-identical for ANY shard count, with and
-// without the udcheck subsystem (which force-sets shards=1), including the
+// without the udcheck subsystem (which, when sharded, defers its analysis to
+// a deterministic window-boundary replay on shard 0), including the
 // drain/quiescence path each KVMSR round crosses.
 #include <gtest/gtest.h>
 
@@ -86,13 +87,19 @@ RunFingerprint run_pr(std::uint32_t nodes, std::uint32_t shards = 1, bool check 
   SplitGraph sg = split_vertices(g, 32);
   DeviceGraph dg = upload_split_graph(m, sg);
   pr::Result r = pr::App::install(m, dg, sg, {.iterations = 2}).run();
-  if (!check && shards > 1) {
+  if (shards > 1) {
+    // Checked runs no longer force shards=1: the engine really runs sharded
+    // (windows advance) and udcheck replays at window boundaries on shard 0.
     EXPECT_GT(m.engine_stats().windows, 0u);
     // Stealing must actually happen for the steal rows to test anything: at
     // period 2 this workload rebalances dozens of times per run.
     if (steal) {
       EXPECT_GT(m.engine_stats().rebalances, 0u);
     }
+  }
+  if (check) {
+    EXPECT_TRUE(m.stats().check.enabled);
+    EXPECT_EQ(m.stats().check.errors(), 0u);
   }
   return fingerprint(m, r.done_tick, r.edge_updates);
 }
@@ -112,8 +119,12 @@ RunFingerprint run_bfs(std::uint32_t nodes, std::uint32_t shards = 1, bool check
   // Each BFS round is one KVMSR invocation: rounds cross the drain path, so
   // a multi-round run exercises quiescence detection under sharding.
   EXPECT_GE(r.rounds, 2u);
-  if (!check && shards > 1 && steal) {
+  if (shards > 1 && steal) {
     EXPECT_GT(m.engine_stats().rebalances, 0u);
+  }
+  if (check) {
+    EXPECT_TRUE(m.stats().check.enabled);
+    EXPECT_EQ(m.stats().check.errors(), 0u);
   }
   return fingerprint(m, r.done_tick, r.traversed_edges);
 }
@@ -157,11 +168,14 @@ TEST(DeterminismMatrix, PageRankIdenticalAcrossShardCounts) {
 
 TEST(DeterminismMatrix, PageRankIdenticalUnderCheck) {
   const RunFingerprint serial = run_pr(8, 1);
-  // The checker force-sets shards=1 (its side tables are engine-global); a
-  // checked run at any requested shard count must still match the serial
-  // fingerprint exactly — checking never perturbs the simulation.
-  EXPECT_EQ(run_pr(8, 1, /*check=*/true), serial);
-  EXPECT_EQ(run_pr(8, 4, /*check=*/true), serial);
+  // At shards=1 the checker runs inline with the serial engine; at any
+  // higher count its hooks only append to per-shard logs and the analysis
+  // replays deterministically on shard 0 at window boundaries. Either way a
+  // checked run must match the serial fingerprint exactly — checking never
+  // perturbs the simulation — and run_pr also asserts the check came back
+  // clean at every shard count.
+  for (std::uint32_t shards : {1u, 2u, 4u})
+    EXPECT_EQ(run_pr(8, shards, /*check=*/true), serial) << "shards=" << shards;
 }
 
 TEST(DeterminismMatrix, BfsIdenticalAcrossShardCounts) {
@@ -172,8 +186,8 @@ TEST(DeterminismMatrix, BfsIdenticalAcrossShardCounts) {
 
 TEST(DeterminismMatrix, BfsIdenticalUnderCheck) {
   const RunFingerprint serial = run_bfs(8, 1);
-  EXPECT_EQ(run_bfs(8, 1, /*check=*/true), serial);
-  EXPECT_EQ(run_bfs(8, 4, /*check=*/true), serial);
+  for (std::uint32_t shards : {1u, 2u, 4u})
+    EXPECT_EQ(run_bfs(8, shards, /*check=*/true), serial) << "shards=" << shards;
 }
 
 TEST(DeterminismMatrix, TriangleCountIdenticalAcrossShardCounts) {
@@ -198,8 +212,19 @@ TEST(DeterminismMatrix, CoalescedPageRankIdenticalAcrossShardCounts) {
 
 TEST(DeterminismMatrix, CoalescedPageRankIdenticalUnderCheck) {
   const RunFingerprint serial = run_pr(8, 1, false, 16);
-  EXPECT_EQ(run_pr(8, 1, /*check=*/true, 16), serial);
-  EXPECT_EQ(run_pr(8, 4, /*check=*/true, 16), serial);
+  for (std::uint32_t shards : {1u, 2u, 4u})
+    EXPECT_EQ(run_pr(8, shards, /*check=*/true, 16), serial)
+        << "shards=" << shards;
+}
+
+TEST(DeterminismMatrix, PageRankIdenticalUnderCheckAndStealing) {
+  // The full stack at once: deferred replay logs migrate with their nodes
+  // when UD_STEAL remaps the partition, and the (tick, ent, seq) merge key
+  // keeps the replay order — and therefore the check verdict — identical.
+  const RunFingerprint serial = run_pr(8, 1);
+  for (std::uint32_t shards : {2u, 4u})
+    EXPECT_EQ(run_pr(8, shards, /*check=*/true, 1, /*steal=*/true), serial)
+        << "shards=" << shards;
 }
 
 TEST(DeterminismMatrix, CoalescedBfsIdenticalAcrossShardCounts) {
