@@ -1628,14 +1628,20 @@ void Checker::report() {
       leak_reported_.push_back(lt);
       ++counts_.leaked_threads;
       const Lifetime& l = lifetimes_[lt];
+      std::string msg =
+          strfmt("thread context [NWID %u][TID %u] (%s thread, creation #%llu "
+                 "@%llu on lane %u) is still live at drain: some handler returned "
+                 "without yield_terminate and nothing will ever address it again",
+                 nw, tid, ev_name(l.create_label).c_str(),
+                 static_cast<unsigned long long>(l.create_seq),
+                 static_cast<unsigned long long>(l.created_at), l.nwid);
+      // Multi-tenant attribution: name the job whose lane partition leaked.
+      if (lane_annotator_) {
+        const std::string owner = lane_annotator_(l.nwid);
+        if (!owner.empty()) msg += " [job: " + owner + "]";
+      }
       diag({CheckKind::kLeakedThread, true, m_.now(), nw, tid, l.create_label,
-            0, l.create_seq,
-            strfmt("thread context [NWID %u][TID %u] (%s thread, creation #%llu "
-                   "@%llu on lane %u) is still live at drain: some handler returned "
-                   "without yield_terminate and nothing will ever address it again",
-                   nw, tid, ev_name(l.create_label).c_str(),
-                   static_cast<unsigned long long>(l.create_seq),
-                   static_cast<unsigned long long>(l.created_at), l.nwid)});
+            0, l.create_seq, std::move(msg)});
     }
   }
 

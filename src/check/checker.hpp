@@ -45,6 +45,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -256,6 +257,16 @@ class Checker final : public MemoryObserver {
   /// new era (everything before a full drain happens-before everything
   /// after, so cross-phase host driving cannot produce false races).
   void report();
+
+  /// Multi-tenant leak attribution: a host scheduler may install a callback
+  /// mapping a lane to the name of the job whose partition owns it (empty =
+  /// unowned). Leaked-thread diagnostics append the owner, so a leak in a
+  /// concurrent-job run names the offending job instead of just a lane
+  /// number. Host-side only (set while the engine is paused); purely a
+  /// diagnostic decoration — counters and eras are unaffected.
+  void set_lane_annotator(std::function<std::string(NetworkId)> fn) {
+    lane_annotator_ = std::move(fn);
+  }
 
   const std::vector<CheckDiagnostic>& diagnostics() const { return diags_; }
 
@@ -609,6 +620,7 @@ class Checker final : public MemoryObserver {
 
   CheckSummary counts_;
   std::vector<CheckDiagnostic> diags_;
+  std::function<std::string(NetworkId)> lane_annotator_;  ///< lane -> owning job
   std::vector<LifetimeId> leak_reported_;  ///< leaked threads already flagged
   std::vector<Word> cont_reported_;        ///< unfired conts already flagged
   static constexpr std::size_t kMaxStoredDiags = 256;

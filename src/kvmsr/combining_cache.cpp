@@ -23,10 +23,22 @@ struct CacheFlushThread : ThreadState {
     loaded_label = cc.loaded_;
     written_label = cc.written_;
     auto& table = cc.per_lane_.at(ctx.nwid());
-    pending.assign(table.begin(), table.end());
-    by_addr = std::move(table);
-    table.clear();
-    ctx.charge(2 + pending.size());  // table walk
+    // Job-scoped drain: JobSpec::flush events carry {job} as op 0. Take only
+    // slots tagged for this job (or untagged — the single-tenant default,
+    // which preserves the drain-everything behavior bit-for-bit when no one
+    // tags); other jobs' pending adds stay cached for their own flush.
+    const Word job = ctx.nops() > 0 ? ctx.op(0) : CombiningCache::kUntagged;
+    const std::size_t scanned = table.size();
+    for (auto it = table.begin(); it != table.end();) {
+      if (it->second.tag == CombiningCache::kUntagged || it->second.tag == job) {
+        pending.emplace_back(it->first, it->second);
+        by_addr.emplace(it->first, it->second);
+        it = table.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    ctx.charge(2 + scanned);  // table walk
     pump(ctx);
   }
 
@@ -83,16 +95,18 @@ CombiningCache::CombiningCache(Machine& m) : per_lane_(m.config().total_lanes())
   written_ = p.event("combining_cache::f_written", &CacheFlushThread::f_written);
 }
 
-void CombiningCache::add_f64(Ctx& ctx, Addr addr, double delta) {
+void CombiningCache::add_f64(Ctx& ctx, Addr addr, double delta, Word tag) {
   ctx.charge(3);  // hash + scratchpad load + store
   Slot& s = per_lane_.at(ctx.nwid())[addr];
   s.is_f64 = true;
+  s.tag = tag;
   s.bits = std::bit_cast<Word>(std::bit_cast<double>(s.bits) + delta);
 }
 
-void CombiningCache::add_u64(Ctx& ctx, Addr addr, Word delta) {
+void CombiningCache::add_u64(Ctx& ctx, Addr addr, Word delta, Word tag) {
   ctx.charge(3);
   Slot& s = per_lane_.at(ctx.nwid())[addr];
+  s.tag = tag;
   s.bits += delta;
 }
 

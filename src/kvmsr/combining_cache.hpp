@@ -35,10 +35,21 @@ class CombiningCache {
 
   explicit CombiningCache(Machine& m);
 
-  /// fetch&add for f64 accumulators (PageRank contributions).
-  void add_f64(Ctx& ctx, Addr addr, double delta);
+  /// Slot owner tag for single-tenant use: untagged slots are drained by ANY
+  /// job's flush (the pre-multi-tenant behavior, and still the right choice
+  /// when one job owns the machine).
+  static constexpr Word kUntagged = ~0ull;
+
+  /// fetch&add for f64 accumulators (PageRank contributions). `tag` scopes
+  /// the slot to one KVMSR job: the flush phase of job J drains only slots
+  /// tagged J (or untagged), so with concurrent jobs sharing a lane, job A's
+  /// flush cannot commit job B's pending adds — B's accumulator writes stay
+  /// ordered behind B's own flush->master->continuation chain, which is what
+  /// keeps checked multi-tenant runs race-free. Callers owning the whole
+  /// machine may keep the default.
+  void add_f64(Ctx& ctx, Addr addr, double delta, Word tag = kUntagged);
   /// fetch&add for u64 counters (triangle counts, histogram bins).
-  void add_u64(Ctx& ctx, Addr addr, Word delta);
+  void add_u64(Ctx& ctx, Addr addr, Word delta, Word tag = kUntagged);
 
   /// Event label of the per-lane flush thread; pass as JobSpec::flush.
   EventLabel flush_label() const { return flush_; }
@@ -50,7 +61,8 @@ class CombiningCache {
   friend struct CacheFlushThread;
 
   struct Slot {
-    Word bits = 0;      ///< accumulated value (f64 or u64 bit pattern)
+    Word bits = 0;       ///< accumulated value (f64 or u64 bit pattern)
+    Word tag = kUntagged;///< owning KVMSR job (kUntagged = any flush drains)
     bool is_f64 = false;
   };
   using LaneMap = std::unordered_map<Addr, Slot>;

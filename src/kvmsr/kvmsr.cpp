@@ -1,6 +1,7 @@
 #include "kvmsr/kvmsr.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 
 #include "common/env.hpp"
@@ -193,6 +194,13 @@ void Library::launch_from_host(JobId job, std::uint64_t key_begin, std::uint64_t
   m_.send_from_host(evw::make_new(s.first, m_start_), {job, key_begin, key_end}, cont);
 }
 
+void Library::launch_from_host_at(Tick at, JobId job, std::uint64_t key_begin,
+                                  std::uint64_t key_end, Word cont) {
+  const LaneSet s = resolved_lanes(jobs_.at(job));
+  m_.send_from_host_at(at, evw::make_new(s.first, m_start_), {job, key_begin, key_end},
+                       cont);
+}
+
 void Library::launch(Ctx& ctx, JobId job, std::uint64_t key_begin, std::uint64_t key_end,
                      Word cont) {
   const LaneSet s = resolved_lanes(jobs_.at(job));
@@ -201,6 +209,21 @@ void Library::launch(Ctx& ctx, JobId job, std::uint64_t key_begin, std::uint64_t
 
 const JobState& Library::run_to_completion(JobId job, std::uint64_t key_begin,
                                            std::uint64_t key_end) {
+  // run() below drains the WHOLE machine, so any other resident job would be
+  // driven to completion (or deadlock on its absent driver) under this job's
+  // name — a single-tenant helper silently swallowing a concurrent workload.
+  // Debug builds assert; Release builds throw. Concurrent jobs go through
+  // launch_from_host + Machine::run_until (see serve::Scheduler).
+  for (JobId o = 0; o < static_cast<JobId>(jobs_.size()); ++o) {
+    if (o != job && jobs_[o].state.running) {
+      assert(false && "KVMSR run_to_completion: another job is resident; "
+                      "drive concurrent jobs with Machine::run_until");
+      throw std::runtime_error("KVMSR: run_to_completion('" + jobs_.at(job).spec.name +
+                               "') while job '" + jobs_[o].spec.name +
+                               "' is resident; drive concurrent jobs with "
+                               "Machine::run_until instead");
+    }
+  }
   launch_from_host(job, key_begin, key_end);
   m_.run();
   if (jobs_.at(job).state.running)
@@ -348,6 +371,8 @@ void MasterThread::m_start(Ctx& ctx) {
   j.state.total_keys = key_end - key_begin;
   j.state.total_emitted = 0;
   j.state.poll_rounds = 0;
+  j.state.cancelled = false;
+  j.cancel = false;  // a relaunch of a previously cancelled job starts fresh
   backoff = 128;
   std::fill(j.emitted_by_lane.begin(), j.emitted_by_lane.end(), 0);
   std::fill(j.received_by_lane.begin(), j.received_by_lane.end(), 0);
@@ -491,6 +516,8 @@ void MasterThread::finish(Ctx& ctx) {
   Library& lib = ctx.machine().service<Library>();
   Library::Job& j = lib.jobs_.at(job);
   j.state.done_tick = ctx.now();
+  j.state.cancelled = j.cancel;
+  j.cancel = false;
   j.state.running = false;
   if (j.spec.flush != 0 && ctx.machine().tracer())
     ctx.trace_phase_end(j.spec.name + ":flush");
@@ -571,6 +598,13 @@ void WorkerThread::w_grant(Ctx& ctx) {
 void WorkerThread::pump(Ctx& ctx) {
   Library& lib = ctx.machine().service<Library>();
   Library::Job& j = lib.jobs_.at(job);
+  if (j.cancel) {
+    // Drain-to-cancel: forfeit the remaining key range (and any future PBMW
+    // grants) so in-flight tasks retire and the normal termination gather
+    // runs to done — the job ends cleanly, just early.
+    next = end;
+    no_more = true;
+  }
   while (inflight < j.spec.max_inflight_per_lane && next < end) {
     ctx.charge(1);
     ctx.send_event(ctx.evw_new(ctx.nwid(), j.spec.kv_map), {next, job},

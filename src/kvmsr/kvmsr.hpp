@@ -113,6 +113,10 @@ struct JobState {
   std::uint32_t poll_rounds = 0;
   std::uint32_t runs = 0;
   bool running = false;
+  /// The last run was truncated by request_cancel: workers stopped issuing
+  /// map tasks, in-flight tasks retired, and the job drained through the
+  /// normal termination protocol (done_tick etc. are valid; no state leaks).
+  bool cancelled = false;
 };
 
 /// Convenience base class for map-task threads that span multiple events and
@@ -142,6 +146,11 @@ class Library {
   /// when the job completes (IGNRCONT: just read state() after run()).
   void launch_from_host(JobId job, std::uint64_t key_begin, std::uint64_t key_end,
                         Word cont = IGNRCONT);
+  /// Like launch_from_host, but the launch message departs the host at
+  /// simulated tick max(at, Machine::now()) — offered-load pacing for the
+  /// serve scheduler (arrivals in the future wait in the host queue).
+  void launch_from_host_at(Tick at, JobId job, std::uint64_t key_begin,
+                           std::uint64_t key_end, Word cont = IGNRCONT);
   /// Fire a job from a device event (application driver threads).
   void launch(Ctx& ctx, JobId job, std::uint64_t key_begin, std::uint64_t key_end,
               Word cont = IGNRCONT);
@@ -168,6 +177,26 @@ class Library {
   /// when they finish emitting, or their tuples wait for the next poll
   /// round. No-op when the job does not coalesce.
   void flush_hint(Ctx& ctx, JobId job) { flush_lane(ctx, job); }
+
+  // ---- Multi-job serving -------------------------------------------------------
+  /// Drain-to-cancel: stop issuing new map tasks for `job` at each worker's
+  /// next pump; in-flight tasks retire normally and the job runs the regular
+  /// termination gather to done (no leaked threads, udcheck-clean). Host-side
+  /// only — call while the machine is paused (between run_until windows).
+  /// JobState::cancelled reports whether the finished run was truncated.
+  /// Note: MapBinding::kDirect sends every map task up front, so cancellation
+  /// cannot prune its key-space — it only matters for kBlock/kPBMW.
+  void request_cancel(JobId job) { jobs_.at(job).cancel = true; }
+  bool cancel_requested(JobId job) const { return jobs_.at(job).cancel; }
+  /// Resolved lane set of `job` (a spec count of 0 expanded to the machine).
+  LaneSet lanes_of(JobId job) const { return resolved_lanes(jobs_.at(job)); }
+  std::size_t num_jobs() const { return jobs_.size(); }
+  /// Any job currently mid-flight (between launch and its master's finish)?
+  bool any_running() const {
+    for (const Job& j : jobs_)
+      if (j.state.running) return true;
+    return false;
+  }
 
   // ---- Accessors used by handlers / helpers ------------------------------------
   static Word map_key(Ctx& ctx) { return ctx.op(0); }
@@ -205,6 +234,7 @@ class Library {
   struct Job {
     JobSpec spec;
     JobState state;
+    bool cancel = false;         ///< request_cancel pending (cleared at finish)
     std::uint32_t coalesce = 1;  ///< resolved coalescing factor (1 = off)
     std::vector<std::uint64_t> emitted_by_lane;
     std::vector<std::uint64_t> received_by_lane;

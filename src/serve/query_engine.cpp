@@ -1,0 +1,739 @@
+#include "serve/query_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "apps/tc.hpp"  // pair_key/pair_x/pair_y packing
+
+namespace updown::serve {
+
+const char* kind_name(QueryKind k) {
+  switch (k) {
+    case QueryKind::kPageRank: return "pagerank";
+    case QueryKind::kBfs: return "bfs";
+    case QueryKind::kPathCount: return "pathcount";
+    case QueryKind::kTriangles: return "triangles";
+  }
+  return "?";
+}
+
+// Host timer: publishes its firing time so a run_until predicate can stop the
+// engine at a chosen simulated tick (scheduler arrivals, timed cancels).
+struct SqTick : ThreadState {
+  void t_fire(Ctx& ctx) {
+    auto& seen = ctx.machine().service<QueryEngine>().tick_seen_;
+    const std::uint64_t t = ctx.op(0);
+    std::uint64_t cur = seen.load(std::memory_order_relaxed);
+    while (cur < t &&
+           !seen.compare_exchange_weak(cur, t, std::memory_order_release)) {
+    }
+    ctx.yield_terminate();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Driver: one device-side thread per query, living on the partition's first
+// lane. Chains the query's KVMSR launches round by round via continuations
+// and publishes the host-visible completion flag — the run_until predicate.
+// ---------------------------------------------------------------------------
+struct SqDriver : ThreadState {
+  QueryId qid = 0;
+
+  void d_start(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    auto& q = *eng.queries_.at(qid = static_cast<QueryId>(ctx.op(0)));
+    q.launch_tick = ctx.start_time();
+    if (ctx.machine().tracer()) ctx.trace_phase_begin("serve:" + q.spec.name);
+    switch (q.spec.kind) {
+      case QueryKind::kPageRank:
+        if (q.spec.iterations == 0) {
+          finish(ctx, eng, q);
+          return;
+        }
+        launch_main(ctx, eng, q, eng.lb_.d_pr_prop_done);
+        break;
+      case QueryKind::kBfs:
+        launch_main(ctx, eng, q, eng.lb_.d_bfs_round_done);
+        break;
+      case QueryKind::kPathCount:
+      case QueryKind::kTriangles:
+        launch_main(ctx, eng, q, eng.lb_.d_pass_done);
+        break;
+    }
+  }
+
+  void d_pr_prop_done(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    auto& q = *eng.queries_.at(qid);
+    q.emitted += ctx.op(0);
+    eng.lib_->launch(ctx, q.apply_job, 0, q.spec.graph->num_vertices,
+                     ctx.evw_update_event(ctx.cevnt(), eng.lb_.d_pr_apply_done));
+  }
+
+  void d_pr_apply_done(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    auto& q = *eng.queries_.at(qid);
+    q.round++;
+    if (q.cancel || q.round >= q.spec.iterations) {
+      finish(ctx, eng, q);
+      return;
+    }
+    launch_main(ctx, eng, q, eng.lb_.d_pr_prop_done);
+  }
+
+  void d_bfs_round_done(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    auto& q = *eng.queries_.at(qid);
+    q.emitted += ctx.op(0);
+    q.round++;
+    if (q.cancel || q.added.load(std::memory_order_relaxed) == 0) {
+      finish(ctx, eng, q);
+      return;
+    }
+    // Swap frontier roles: the drained current buffer is cleared and becomes
+    // the next round's write side. Host-side state, ordered by the round's
+    // gather -> driver -> relaunch message chain.
+    std::fill(q.frontier[q.cur_buf].begin(), q.frontier[q.cur_buf].end(), 0);
+    q.cur_buf ^= 1;
+    q.added.store(0, std::memory_order_relaxed);
+    launch_main(ctx, eng, q, eng.lb_.d_bfs_round_done);
+  }
+
+  void d_pass_done(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    auto& q = *eng.queries_.at(qid);
+    q.emitted += ctx.op(0);
+    q.round++;
+    finish(ctx, eng, q);
+  }
+
+ private:
+  void launch_main(Ctx& ctx, QueryEngine& eng, QueryEngine::Query& q, EventLabel done) {
+    eng.lib_->launch(ctx, q.job, 0, q.spec.graph->num_vertices,
+                     ctx.evw_update_event(ctx.cevnt(), done));
+  }
+
+  void finish(Ctx& ctx, QueryEngine& eng, QueryEngine::Query& q) {
+    q.done_tick = ctx.now();
+    if (ctx.machine().tracer()) ctx.trace_phase_end("serve:" + q.spec.name);
+    q.finished = true;  // published to the host at the next pause point
+    (void)eng;
+    ctx.yield_terminate();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// PageRank propagate: per-vertex map emits rank/degree to every neighbor;
+// reduce folds into the query's accumulator array through the (job-tagged)
+// combining cache. Same shape as apps/pagerank, minus the split-vertex
+// indirection: serve graphs are unsplit, so the map key IS the rank index.
+// ---------------------------------------------------------------------------
+struct SqPrMap : kvmsr::MapTask {
+  kvmsr::JobId job = 0;
+  Word v = 0;
+  Word degree = 0;
+  Word nbr_ptr = 0;
+  double contrib = 0.0;
+  Word loaded = 0;
+
+  void kv_map(Ctx& ctx) {
+    kvmsr_begin(ctx);
+    auto& eng = ctx.machine().service<QueryEngine>();
+    job = kvmsr::Library::map_job(ctx);
+    v = kvmsr::Library::map_key(ctx);
+    ctx.send_dram_read(eng.query_of_job(job).spec.graph->vertex_addr(v), 8,
+                       eng.lb_.pr_rec);
+  }
+
+  void pr_rec(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    auto& q = eng.query_of_job(job);
+    degree = ctx.op(DeviceGraph::kDegree);
+    nbr_ptr = ctx.op(DeviceGraph::kNbrPtr);
+    ctx.charge(3);
+    if (degree == 0) {
+      eng.lib_->map_return(ctx, kvmsr_cont);
+      return;
+    }
+    ctx.send_dram_read(q.rank_base + v * 8, 1, eng.lb_.pr_rank);
+  }
+
+  void pr_rank(Ctx& ctx) {
+    contrib = std::bit_cast<double>(ctx.op(0)) / static_cast<double>(degree);
+    ctx.charge(2);
+    auto& eng = ctx.machine().service<QueryEngine>();
+    for (Word i = 0; i < degree; i += 8) {
+      const unsigned n = static_cast<unsigned>(std::min<Word>(8, degree - i));
+      ctx.charge(2);
+      ctx.send_dram_read(nbr_ptr + i * 8, n, eng.lb_.pr_nbrs);
+    }
+  }
+
+  void pr_nbrs(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    for (unsigned i = 0; i < ctx.nops(); ++i) {
+      ctx.charge(1);
+      eng.lib_->emit(ctx, job, ctx.op(i), std::bit_cast<Word>(contrib));
+    }
+    loaded += ctx.nops();
+    if (loaded == degree) eng.lib_->map_return(ctx, kvmsr_cont);
+  }
+};
+
+struct SqPrReduce : ThreadState {
+  void kv_reduce(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    const kvmsr::JobId job = kvmsr::Library::reduce_job(ctx);
+    auto& q = eng.query_of_job(job);
+    const Word v = kvmsr::Library::reduce_key(ctx);
+    const double c = std::bit_cast<double>(kvmsr::Library::reduce_val(ctx));
+    eng.cc_->add_f64(ctx, q.acc_base + v * 8, c, job);
+    eng.lib_->reduce_return(ctx, job);
+  }
+};
+
+/// Apply sweep: rank'[v] = (1-d)/n + d*acc[v]; acked writes so the next
+/// propagate cannot read a stale rank or accumulator.
+struct SqPrApply : kvmsr::MapTask {
+  kvmsr::JobId job = 0;
+  Word v = 0;
+  unsigned acks = 0;
+
+  void kv_map(Ctx& ctx) {
+    kvmsr_begin(ctx);
+    auto& eng = ctx.machine().service<QueryEngine>();
+    job = kvmsr::Library::map_job(ctx);
+    v = kvmsr::Library::map_key(ctx);
+    ctx.send_dram_read(eng.query_of_job(job).acc_base + v * 8, 1, eng.lb_.pr_acc);
+  }
+
+  void pr_acc(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    auto& q = eng.query_of_job(job);
+    const double sum = std::bit_cast<double>(ctx.op(0));
+    const double n = static_cast<double>(q.spec.graph->num_original);
+    const double rank = (1.0 - q.spec.damping) / n + q.spec.damping * sum;
+    ctx.charge(4);
+    ctx.send_dram_write(q.rank_base + v * 8, {std::bit_cast<Word>(rank)},
+                        eng.lb_.pr_written);
+    ctx.send_dram_write(q.acc_base + v * 8, {0}, eng.lb_.pr_written);
+  }
+
+  void pr_written(Ctx& ctx) {
+    if (++acks == 2)
+      ctx.machine().service<QueryEngine>().lib_->map_return(ctx, kvmsr_cont);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Level-synchronous BFS. Frontier membership is lane-local scratchpad state
+// modeled host-side (the apps/bfs discipline): the map task for key v pays a
+// one-cycle flag probe and expands only frontier vertices; the reduce
+// test-and-sets the visited flag on v's hash-owner lane and writes the level
+// into the query's dist array with an acked write.
+// ---------------------------------------------------------------------------
+struct SqBfsMap : kvmsr::MapTask {
+  kvmsr::JobId job = 0;
+  Word v = 0;
+  Word degree = 0;
+  Word nbr_ptr = 0;
+  Word loaded = 0;
+
+  void kv_map(Ctx& ctx) {
+    kvmsr_begin(ctx);
+    auto& eng = ctx.machine().service<QueryEngine>();
+    job = kvmsr::Library::map_job(ctx);
+    v = kvmsr::Library::map_key(ctx);
+    auto& q = eng.query_of_job(job);
+    ctx.charge(1);  // scratchpad frontier-flag probe
+    if (!q.frontier[q.cur_buf][v]) {
+      eng.lib_->map_return(ctx, kvmsr_cont);
+      return;
+    }
+    ctx.send_dram_read(q.spec.graph->vertex_addr(v), 8, eng.lb_.bfs_rec);
+  }
+
+  void bfs_rec(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    degree = ctx.op(DeviceGraph::kDegree);
+    nbr_ptr = ctx.op(DeviceGraph::kNbrPtr);
+    ctx.charge(2);
+    if (degree == 0) {
+      eng.lib_->map_return(ctx, kvmsr_cont);
+      return;
+    }
+    for (Word i = 0; i < degree; i += 8) {
+      const unsigned n = static_cast<unsigned>(std::min<Word>(8, degree - i));
+      ctx.charge(2);
+      ctx.send_dram_read(nbr_ptr + i * 8, n, eng.lb_.bfs_nbrs);
+    }
+  }
+
+  void bfs_nbrs(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    auto& q = eng.query_of_job(job);
+    for (unsigned i = 0; i < ctx.nops(); ++i) {
+      ctx.charge(1);
+      eng.lib_->emit(ctx, job, ctx.op(i), q.round + 1);
+    }
+    loaded += ctx.nops();
+    if (loaded == degree) eng.lib_->map_return(ctx, kvmsr_cont);
+  }
+};
+
+struct SqBfsReduce : ThreadState {
+  kvmsr::JobId job = 0;
+
+  void kv_reduce(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    job = kvmsr::Library::reduce_job(ctx);
+    auto& q = eng.query_of_job(job);
+    const Word v = kvmsr::Library::reduce_key(ctx);
+    const Word level = kvmsr::Library::reduce_val(ctx);
+    ctx.charge(2);  // scratchpad visited test-and-set
+    if (q.visited[v]) {
+      eng.lib_->reduce_return(ctx, job);
+      return;
+    }
+    q.visited[v] = 1;
+    q.frontier[q.cur_buf ^ 1][v] = 1;
+    q.added.fetch_add(1, std::memory_order_relaxed);
+    ctx.charge(1);
+    // Acked: the level must be durable before the round can complete (dist
+    // is only read back by the host, but an unacked in-flight write would be
+    // an unordered access against a later query reusing the region).
+    ctx.send_dram_write(q.dist_base + v * 8, {level}, eng.lb_.bfs_written);
+  }
+
+  void bfs_written(Ctx& ctx) {
+    ctx.machine().service<QueryEngine>().lib_->reduce_return(ctx, job);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// 2-hop path count (the PartialMatch stand-in): map emits one tuple per edge
+// (a -> b, weight 1); the reduce on b's lane multiplies by outdeg(b). With
+// shuffle combining (kSumU64) tuples for the same b merge map-side, so the
+// reduce sees (b, #predecessors-in-buffer).
+// ---------------------------------------------------------------------------
+struct SqPcMap : kvmsr::MapTask {
+  kvmsr::JobId job = 0;
+  Word degree = 0;
+  Word loaded = 0;
+
+  void kv_map(Ctx& ctx) {
+    kvmsr_begin(ctx);
+    auto& eng = ctx.machine().service<QueryEngine>();
+    job = kvmsr::Library::map_job(ctx);
+    const Word a = kvmsr::Library::map_key(ctx);
+    ctx.send_dram_read(eng.query_of_job(job).spec.graph->vertex_addr(a), 8,
+                       eng.lb_.pc_rec);
+  }
+
+  void pc_rec(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    degree = ctx.op(DeviceGraph::kDegree);
+    const Word nbr_ptr = ctx.op(DeviceGraph::kNbrPtr);
+    ctx.charge(2);
+    if (degree == 0) {
+      eng.lib_->map_return(ctx, kvmsr_cont);
+      return;
+    }
+    for (Word i = 0; i < degree; i += 8) {
+      const unsigned n = static_cast<unsigned>(std::min<Word>(8, degree - i));
+      ctx.charge(2);
+      ctx.send_dram_read(nbr_ptr + i * 8, n, eng.lb_.pc_nbrs);
+    }
+  }
+
+  void pc_nbrs(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    for (unsigned i = 0; i < ctx.nops(); ++i) {
+      ctx.charge(1);
+      eng.lib_->emit(ctx, job, ctx.op(i), 1);
+    }
+    loaded += ctx.nops();
+    if (loaded == degree) eng.lib_->map_return(ctx, kvmsr_cont);
+  }
+};
+
+struct SqPcReduce : ThreadState {
+  kvmsr::JobId job = 0;
+  Word paths_in = 0;
+
+  void kv_reduce(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    job = kvmsr::Library::reduce_job(ctx);
+    const Word b = kvmsr::Library::reduce_key(ctx);
+    paths_in = kvmsr::Library::reduce_val(ctx);
+    ctx.charge(1);
+    ctx.send_dram_read(eng.query_of_job(job).spec.graph->vertex_addr(b), 8,
+                       eng.lb_.pc_deg);
+  }
+
+  void pc_deg(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    auto& q = eng.query_of_job(job);
+    const Word deg = ctx.op(DeviceGraph::kDegree);
+    ctx.charge(2);
+    const Word found = paths_in * deg;
+    if (found > 0) {
+      const Addr cell =
+          q.cells_base + static_cast<Addr>(ctx.nwid() - q.rlanes.first) * 8;
+      eng.cc_->add_u64(ctx, cell, found, job);
+    }
+    eng.lib_->reduce_return(ctx, job);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Triangle count: apps/tc's pair-enumeration map and stream-intersect reduce,
+// re-homed onto per-query count cells and the job-tagged combining cache.
+// ---------------------------------------------------------------------------
+struct SqTcMap : kvmsr::MapTask {
+  kvmsr::JobId job = 0;
+  Word x = 0;
+  Word degree = 0;
+  Word loaded = 0;
+
+  void kv_map(Ctx& ctx) {
+    kvmsr_begin(ctx);
+    auto& eng = ctx.machine().service<QueryEngine>();
+    job = kvmsr::Library::map_job(ctx);
+    x = kvmsr::Library::map_key(ctx);
+    ctx.send_dram_read(eng.query_of_job(job).spec.graph->vertex_addr(x), 8,
+                       eng.lb_.tc_rec);
+  }
+
+  void tc_rec(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    degree = ctx.op(DeviceGraph::kDegree);
+    const Word nbr_ptr = ctx.op(DeviceGraph::kNbrPtr);
+    ctx.charge(2);
+    if (degree == 0) {
+      eng.lib_->map_return(ctx, kvmsr_cont);
+      return;
+    }
+    for (Word i = 0; i < degree; i += 8) {
+      const unsigned n = static_cast<unsigned>(std::min<Word>(8, degree - i));
+      ctx.charge(2);
+      ctx.send_dram_read(nbr_ptr + i * 8, n, eng.lb_.tc_nbrs);
+    }
+  }
+
+  void tc_nbrs(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    for (unsigned i = 0; i < ctx.nops(); ++i) {
+      const Word y = ctx.op(i);
+      ctx.charge(1);
+      if (y < x) eng.lib_->emit(ctx, job, tc::pair_key(x, y), 0);
+    }
+    loaded += ctx.nops();
+    if (loaded == degree) eng.lib_->map_return(ctx, kvmsr_cont);
+  }
+};
+
+struct SqTcReduce : ThreadState {
+  kvmsr::JobId job = 0;
+  Word x = 0, y = 0;
+  Word deg[2] = {0, 0};
+  Word ptr[2] = {0, 0};
+  unsigned recs = 0;
+  std::vector<Word> list[2];
+  Word arrived = 0, expected = 0;
+  Word found = 0;
+
+  void kv_reduce(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    job = kvmsr::Library::reduce_job(ctx);
+    const Word key = kvmsr::Library::reduce_key(ctx);
+    x = tc::pair_x(key);
+    y = tc::pair_y(key);
+    ctx.charge(2);
+    const DeviceGraph* dg = eng.query_of_job(job).spec.graph;
+    ctx.send_dram_read(dg->vertex_addr(x), 8, eng.lb_.tc_rrec);
+    ctx.send_dram_read(dg->vertex_addr(y), 8, eng.lb_.tc_rrec);
+  }
+
+  void tc_rrec(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    const DeviceGraph* dg = eng.query_of_job(job).spec.graph;
+    const unsigned side = ctx.ccont() == dg->vertex_addr(x) ? 0 : 1;
+    deg[side] = ctx.op(DeviceGraph::kDegree);
+    ptr[side] = ctx.op(DeviceGraph::kNbrPtr);
+    ctx.charge(2);
+    if (++recs < 2) return;
+    if (deg[0] == 0 || deg[1] == 0) {
+      finish(ctx);
+      return;
+    }
+    for (unsigned s = 0; s < 2; ++s) {
+      list[s].assign(deg[s], 0);
+      for (Word i = 0; i < deg[s]; i += 8) {
+        const unsigned n = static_cast<unsigned>(std::min<Word>(8, deg[s] - i));
+        ctx.charge(2);
+        ctx.send_dram_read(ptr[s] + i * 8, n,
+                           s == 0 ? eng.lb_.tc_xchunk : eng.lb_.tc_ychunk);
+        ++expected;
+      }
+    }
+  }
+
+  void tc_xchunk(Ctx& ctx) { chunk_arrived(ctx, 0); }
+  void tc_ychunk(Ctx& ctx) { chunk_arrived(ctx, 1); }
+
+ private:
+  void chunk_arrived(Ctx& ctx, unsigned side) {
+    const Word base = (ctx.ccont() - ptr[side]) / 8;
+    for (unsigned i = 0; i < ctx.nops(); ++i) {
+      ctx.charge(1);
+      list[side][base + i] = ctx.op(i);
+    }
+    if (++arrived == expected) merge(ctx);
+  }
+
+  void merge(Ctx& ctx) {
+    std::size_t i = 0, j = 0;
+    while (i < list[0].size() && j < list[1].size()) {
+      const Word a = list[0][i], b = list[1][j];
+      ctx.charge(1);
+      if (a >= y || b >= y) break;  // only the z < y prefix counts
+      if (a < b) {
+        ++i;
+      } else if (b < a) {
+        ++j;
+      } else {
+        ++found;
+        ++i;
+        ++j;
+      }
+    }
+    finish(ctx);
+  }
+
+  void finish(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    auto& q = eng.query_of_job(job);
+    if (found > 0) {
+      const Addr cell =
+          q.cells_base + static_cast<Addr>(ctx.nwid() - q.rlanes.first) * 8;
+      eng.cc_->add_u64(ctx, cell, found, job);
+    }
+    eng.lib_->reduce_return(ctx, job);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// QueryEngine
+// ---------------------------------------------------------------------------
+
+QueryEngine& QueryEngine::install(Machine& m) {
+  if (m.has_service<QueryEngine>()) return m.service<QueryEngine>();
+  return m.add_service<QueryEngine>(m);
+}
+
+QueryEngine::QueryEngine(Machine& m) : m_(m) {
+  lib_ = &kvmsr::Library::install(m);
+  cc_ = &kvmsr::CombiningCache::install(m);
+  Program& p = m.program();
+
+  d_start_ = p.event("serve::d_start", &SqDriver::d_start);
+  tick_ = p.event("serve::sched_tick", &SqTick::t_fire);
+  lb_.d_pr_prop_done = p.event("serve::d_pr_prop_done", &SqDriver::d_pr_prop_done);
+  lb_.d_pr_apply_done = p.event("serve::d_pr_apply_done", &SqDriver::d_pr_apply_done);
+  lb_.d_bfs_round_done = p.event("serve::d_bfs_round_done", &SqDriver::d_bfs_round_done);
+  lb_.d_pass_done = p.event("serve::d_pass_done", &SqDriver::d_pass_done);
+  lb_.pr_rec = p.event("serve::pr_rec", &SqPrMap::pr_rec);
+  lb_.pr_rank = p.event("serve::pr_rank", &SqPrMap::pr_rank);
+  lb_.pr_nbrs = p.event("serve::pr_nbrs", &SqPrMap::pr_nbrs);
+  lb_.pr_acc = p.event("serve::pr_acc", &SqPrApply::pr_acc);
+  lb_.pr_written = p.event("serve::pr_written", &SqPrApply::pr_written);
+  lb_.bfs_rec = p.event("serve::bfs_rec", &SqBfsMap::bfs_rec);
+  lb_.bfs_nbrs = p.event("serve::bfs_nbrs", &SqBfsMap::bfs_nbrs);
+  lb_.bfs_written = p.event("serve::bfs_written", &SqBfsReduce::bfs_written);
+  lb_.pc_rec = p.event("serve::pc_rec", &SqPcMap::pc_rec);
+  lb_.pc_nbrs = p.event("serve::pc_nbrs", &SqPcMap::pc_nbrs);
+  lb_.pc_deg = p.event("serve::pc_deg", &SqPcReduce::pc_deg);
+  lb_.tc_rec = p.event("serve::tc_rec", &SqTcMap::tc_rec);
+  lb_.tc_nbrs = p.event("serve::tc_nbrs", &SqTcMap::tc_nbrs);
+  lb_.tc_rrec = p.event("serve::tc_rrec", &SqTcReduce::tc_rrec);
+  lb_.tc_xchunk = p.event("serve::tc_xchunk", &SqTcReduce::tc_xchunk);
+  lb_.tc_ychunk = p.event("serve::tc_ychunk", &SqTcReduce::tc_ychunk);
+}
+
+Addr QueryEngine::place(const QuerySpec& spec, std::uint64_t bytes) {
+  const std::uint32_t nr =
+      spec.values.nr_nodes ? spec.values.nr_nodes : m_.config().nodes;
+  return m_.memory().dram_malloc(std::max<std::uint64_t>(8, bytes),
+                                 spec.values.first_node, nr,
+                                 spec.values.block_size);
+}
+
+QueryId QueryEngine::add_query(QuerySpec spec) {
+  if (!spec.graph) throw std::invalid_argument("serve: QuerySpec::graph is null");
+  if (spec.graph->num_vertices != spec.graph->num_original)
+    throw std::invalid_argument(
+        "serve: queries require an unsplit graph (num_vertices == num_original)");
+  const std::uint64_t nv = spec.graph->num_vertices;
+  if (spec.lanes.count != 0 &&
+      spec.lanes.first + spec.lanes.count > m_.config().total_lanes())
+    throw std::invalid_argument("serve: lane partition beyond the machine");
+  if (spec.kind == QueryKind::kBfs && spec.root >= nv)
+    throw std::invalid_argument("serve: BFS root out of range");
+
+  auto qp = std::make_unique<Query>();
+  Query& q = *qp;
+  q.spec = std::move(spec);
+  q.id = static_cast<QueryId>(queries_.size());
+  q.rlanes = q.spec.lanes;
+  if (q.rlanes.count == 0) {
+    q.rlanes.first = 0;
+    q.rlanes.count = static_cast<std::uint32_t>(m_.config().total_lanes());
+  }
+
+  Program& p = m_.program();
+  kvmsr::JobSpec js;
+  js.lanes = q.spec.lanes;
+  js.coalesce_tuples = q.spec.coalesce_tuples;
+  js.name = q.spec.name;
+
+  switch (q.spec.kind) {
+    case QueryKind::kPageRank: {
+      q.rank_base = place(q.spec, nv * 8);
+      q.acc_base = place(q.spec, nv * 8);
+      const double init = nv ? 1.0 / static_cast<double>(nv) : 0.0;
+      for (VertexId v = 0; v < nv; ++v) {
+        m_.memory().host_store<double>(q.rank_base + v * 8, init);
+        m_.memory().host_store<double>(q.acc_base + v * 8, 0.0);
+      }
+      js.kv_map = p.event("serve::pr_map", &SqPrMap::kv_map);
+      js.kv_reduce = p.event("serve::pr_reduce", &SqPrReduce::kv_reduce);
+      js.flush = cc_->flush_label();
+      js.combiner = kvmsr::Combiner::kSumF64;
+      js.name = q.spec.name + ".prop";
+      q.job = lib_->add_job(js);
+
+      kvmsr::JobSpec as;
+      as.kv_map = p.event("serve::pr_apply", &SqPrApply::kv_map);
+      as.lanes = q.spec.lanes;
+      as.name = q.spec.name + ".apply";
+      q.apply_job = lib_->add_job(as);
+      job2query_[q.apply_job] = q.id;
+      break;
+    }
+    case QueryKind::kBfs: {
+      q.dist_base = place(q.spec, nv * 8);
+      for (VertexId v = 0; v < nv; ++v)
+        m_.memory().host_store<Word>(q.dist_base + v * 8, kInfDist);
+      q.frontier[0].assign(nv, 0);
+      q.frontier[1].assign(nv, 0);
+      q.visited.assign(nv, 0);
+      q.frontier[0][q.spec.root] = 1;
+      q.visited[q.spec.root] = 1;
+      m_.memory().host_store<Word>(q.dist_base + q.spec.root * 8, 0);
+      js.kv_map = p.event("serve::bfs_map", &SqBfsMap::kv_map);
+      js.kv_reduce = p.event("serve::bfs_reduce", &SqBfsReduce::kv_reduce);
+      js.name = q.spec.name + ".round";
+      q.job = lib_->add_job(js);
+      break;
+    }
+    case QueryKind::kPathCount: {
+      q.cells_base = place(q.spec, static_cast<std::uint64_t>(q.rlanes.count) * 8);
+      for (std::uint32_t l = 0; l < q.rlanes.count; ++l)
+        m_.memory().host_store<Word>(q.cells_base + static_cast<Addr>(l) * 8, 0);
+      js.kv_map = p.event("serve::pc_map", &SqPcMap::kv_map);
+      js.kv_reduce = p.event("serve::pc_reduce", &SqPcReduce::kv_reduce);
+      js.flush = cc_->flush_label();
+      js.combiner = kvmsr::Combiner::kSumU64;
+      js.name = q.spec.name + ".paths";
+      q.job = lib_->add_job(js);
+      break;
+    }
+    case QueryKind::kTriangles: {
+      q.cells_base = place(q.spec, static_cast<std::uint64_t>(q.rlanes.count) * 8);
+      for (std::uint32_t l = 0; l < q.rlanes.count; ++l)
+        m_.memory().host_store<Word>(q.cells_base + static_cast<Addr>(l) * 8, 0);
+      js.kv_map = p.event("serve::tc_map", &SqTcMap::kv_map);
+      js.kv_reduce = p.event("serve::tc_reduce", &SqTcReduce::kv_reduce);
+      js.flush = cc_->flush_label();
+      js.name = q.spec.name + ".tc";
+      q.job = lib_->add_job(js);
+      break;
+    }
+  }
+  job2query_[q.job] = q.id;
+  queries_.push_back(std::move(qp));
+  return q.id;
+}
+
+void QueryEngine::launch(QueryId qid, Tick at) {
+  Query& q = *queries_.at(qid);
+  if (q.launched)
+    throw std::logic_error("serve: query '" + q.spec.name + "' launched twice");
+  q.launched = true;
+  m_.send_from_host_at(at, evw::make_new(q.rlanes.first, d_start_), {qid});
+}
+
+void QueryEngine::cancel(QueryId qid) {
+  Query& q = *queries_.at(qid);
+  if (!q.launched || q.finished) return;
+  q.cancel = true;  // driver stops chaining rounds
+  // Truncate the in-flight KVMSR launch too: workers forfeit unissued keys.
+  lib_->request_cancel(q.job);
+  if (q.spec.kind == QueryKind::kPageRank) lib_->request_cancel(q.apply_job);
+}
+
+kvmsr::LaneSet QueryEngine::lanes(QueryId qid) const {
+  return queries_.at(qid)->rlanes;
+}
+
+std::string QueryEngine::owner_of_lane(NetworkId lane) const {
+  for (const auto& qp : queries_) {
+    const Query& q = *qp;
+    if (!q.launched || q.finished || q.spec.lanes.count == 0) continue;
+    if (lane >= q.rlanes.first && lane < q.rlanes.first + q.rlanes.count)
+      return q.spec.name;
+  }
+  return {};
+}
+
+QueryResult QueryEngine::collect(QueryId qid) const {
+  const Query& q = *queries_.at(qid);
+  if (!q.finished)
+    throw std::logic_error("serve: collect('" + q.spec.name + "') before done");
+  QueryResult r;
+  r.launch_tick = q.launch_tick;
+  r.done_tick = q.done_tick;
+  r.rounds = q.round;
+  r.emitted = q.emitted;
+  r.cancelled = q.cancel;
+  const std::uint64_t nv = q.spec.graph->num_vertices;
+  switch (q.spec.kind) {
+    case QueryKind::kPageRank:
+      r.rank.resize(nv);
+      for (VertexId v = 0; v < nv; ++v)
+        r.rank[v] = m_.memory().host_load<double>(q.rank_base + v * 8);
+      break;
+    case QueryKind::kBfs:
+      r.dist.resize(nv);
+      for (VertexId v = 0; v < nv; ++v)
+        r.dist[v] = m_.memory().host_load<Word>(q.dist_base + v * 8);
+      break;
+    case QueryKind::kPathCount:
+    case QueryKind::kTriangles:
+      for (std::uint32_t l = 0; l < q.rlanes.count; ++l)
+        r.count += m_.memory().host_load<Word>(q.cells_base + static_cast<Addr>(l) * 8);
+      break;
+  }
+  return r;
+}
+
+std::uint64_t cpu_path_count(const Graph& g) {
+  std::uint64_t total = 0;
+  for (VertexId a = 0; a < g.num_vertices(); ++a)
+    for (const VertexId b : g.neighbors_of(a)) total += g.degree(b);
+  return total;
+}
+
+}  // namespace updown::serve

@@ -1,0 +1,231 @@
+// Multi-tenant query kernels for job serving (ROADMAP item 2).
+//
+// The existing apps (src/apps/) are single-tenant by construction: each owns
+// Machine::user<App>() and drives the machine to global drain. The serve
+// layer re-expresses the same workloads as *queries* — self-contained KVMSR
+// job bundles with per-query device arrays, a per-query device-side driver
+// thread, and a host-visible completion flag — so any number of them can be
+// resident at once, each on its own lane partition (or interleaved over the
+// whole machine) with its own value placement (the paper's fig12
+// `nr_nodes`-style knob).
+//
+// Per-query quiescence: a query is done when its driver thread sets
+// Query::finished — the predicate handed to Machine::run_until. Nothing here
+// waits for global drain; the host scheduler (serve/scheduler.hpp) resumes
+// the engine while other queries stay in flight.
+//
+// Query kinds:
+//   kPageRank  — push PageRank, `iterations` synchronous sweeps (propagate
+//                job with f64 combining + apply job per sweep, chained by the
+//                driver exactly like apps/pagerank).
+//   kBfs       — level-synchronous BFS: one KVMSR job launch per round over
+//                the whole key range; frontier membership is lane-local
+//                scratchpad state modeled host-side (per-query flag vectors),
+//                distances land in a per-query DRAM array.
+//   kPathCount — 2-hop path count (#{(a,b,c): a->b->c}), the PartialMatch
+//                stand-in: a two-edge pattern-matching query in one
+//                map+reduce pass (cf. apps/partial_match).
+//   kTriangles — triangle count, the tc app's stream-intersect reduce.
+//
+// Results are value-deterministic for a fixed machine + shard count; queries
+// whose lane partition, graph copy, and value arrays are confined to a
+// disjoint node partition are bit-identical to running alone (asserted in
+// tests/serve/).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/layout.hpp"
+#include "kvmsr/combining_cache.hpp"
+#include "kvmsr/kvmsr.hpp"
+#include "sim/machine.hpp"
+
+namespace updown::serve {
+
+using QueryId = std::uint32_t;
+
+enum class QueryKind : std::uint8_t { kPageRank, kBfs, kPathCount, kTriangles };
+
+const char* kind_name(QueryKind k);
+
+struct QuerySpec {
+  QueryKind kind = QueryKind::kPageRank;
+  /// Device graph the query reads (resident shared copy, or a per-query
+  /// partition-local copy when bit-exact isolation is required). Must be an
+  /// unsplit upload (num_vertices == num_original).
+  const DeviceGraph* graph = nullptr;
+  /// Lane partition the query's KVMSR jobs, driver, and reducers run on.
+  /// count 0 = interleaved over the whole machine.
+  kvmsr::LaneSet lanes;
+  /// Placement of the query's own value arrays (rank/dist/count cells) —
+  /// the fig12 placement knob. nr_nodes 0 = spread over the whole machine.
+  GraphPlacement values;
+  std::uint32_t iterations = 2;  ///< PageRank sweeps (0 = no-op query)
+  double damping = 0.85;         ///< PageRank damping factor
+  VertexId root = 0;             ///< BFS root
+  std::uint32_t coalesce_tuples = 1;  ///< forwarded to the shuffle jobs
+  /// Query name; keep unique per query — it prefixes the KVMSR job names, so
+  /// udtrace phase spans and diagnostics attribute work to this query.
+  std::string name = "query";
+};
+
+struct QueryResult {
+  Tick launch_tick = 0;
+  Tick done_tick = 0;
+  std::uint64_t rounds = 0;   ///< PR sweeps run / BFS rounds / 1
+  std::uint64_t emitted = 0;  ///< shuffle tuples over all rounds
+  std::uint64_t count = 0;    ///< kPathCount paths / kTriangles triangles
+  bool cancelled = false;     ///< drained early via cancel()
+  std::vector<double> rank;   ///< kPageRank
+  std::vector<Word> dist;     ///< kBfs levels (kInfDist = unreachable)
+
+  Tick duration() const { return done_tick - launch_tick; }
+};
+
+class QueryEngine {
+ public:
+  /// Register the engine (and its KVMSR/CombiningCache dependencies) on `m`.
+  /// Call once, before Machine::run.
+  static QueryEngine& install(Machine& m);
+
+  explicit QueryEngine(Machine& m);
+
+  /// Register a query: allocates its device arrays (per QuerySpec::values)
+  /// and its KVMSR jobs. Does not launch.
+  QueryId add_query(QuerySpec spec);
+
+  /// Inject the query's driver start from the host, departing at simulated
+  /// tick max(at, now). Host-side only (engine paused).
+  void launch(QueryId q, Tick at = 0);
+
+  bool launched(QueryId q) const { return queries_.at(q)->launched; }
+  /// Host-visible completion flag — the run_until predicate for this query.
+  bool done(QueryId q) const { return queries_.at(q)->finished; }
+
+  /// Drain-to-cancel: the query stops starting new rounds, its in-flight
+  /// KVMSR launch forfeits unissued map tasks (Library::request_cancel), and
+  /// the driver finishes through the normal termination path — no leaked
+  /// threads, udcheck-clean. Host-side only.
+  void cancel(QueryId q);
+
+  /// Read back results; valid once done(q).
+  QueryResult collect(QueryId q) const;
+
+  /// Completion tick / cancellation flag without the array copies of
+  /// collect(); valid once done(q).
+  Tick done_tick(QueryId q) const { return queries_.at(q)->done_tick; }
+  bool was_cancelled(QueryId q) const { return queries_.at(q)->cancel; }
+
+  const QuerySpec& spec(QueryId q) const { return queries_.at(q)->spec; }
+  /// Resolved lane partition of the query.
+  kvmsr::LaneSet lanes(QueryId q) const;
+  std::size_t num_queries() const { return queries_.size(); }
+
+  /// Name of the LAUNCHED-and-unfinished query whose lane partition contains
+  /// `lane`, or "" — the checker's leak-attribution annotator. Partition
+  /// queries only (interleaved queries own no lane exclusively).
+  std::string owner_of_lane(NetworkId lane) const;
+
+  Machine& machine() { return m_; }
+  kvmsr::Library& kvmsr_lib() { return *lib_; }
+
+  // ---- Host-timer support for the scheduler ---------------------------------
+  /// A `tick_label` event carrying {tick} publishes that tick to tick_seen()
+  /// and terminates. The scheduler injects one per host-attention time
+  /// (arrival, timed cancel) so a run_until predicate can stop the engine at
+  /// a simulated time without peeking at mid-run engine state.
+  EventLabel tick_label() const { return tick_; }
+  Tick tick_seen() const {
+    return static_cast<Tick>(tick_seen_.load(std::memory_order_acquire));
+  }
+
+ private:
+  friend struct SqTick;
+  friend struct SqDriver;
+  friend struct SqPrMap;
+  friend struct SqPrReduce;
+  friend struct SqPrApply;
+  friend struct SqBfsMap;
+  friend struct SqBfsReduce;
+  friend struct SqPcMap;
+  friend struct SqPcReduce;
+  friend struct SqTcMap;
+  friend struct SqTcReduce;
+
+  struct Query {
+    QuerySpec spec;
+    QueryId id = 0;
+    kvmsr::JobId job = 0;        ///< propagate / round / single-pass job
+    kvmsr::JobId apply_job = 0;  ///< kPageRank only
+    kvmsr::LaneSet rlanes;       ///< spec.lanes with count 0 resolved
+    // Per-query device arrays.
+    Addr rank_base = 0;   ///< PR ranks (f64 per vertex)
+    Addr acc_base = 0;    ///< PR accumulators (f64 per vertex)
+    Addr dist_base = 0;   ///< BFS levels (word per vertex)
+    Addr cells_base = 0;  ///< PC/TC per-partition-lane count cells
+    // BFS lane-local frontier state, modeled host-side like apps/bfs: cur is
+    // read by map tasks, nxt written by reduce tasks, swapped by the driver
+    // between rounds (ordered by the round's message chain).
+    std::vector<char> frontier[2];
+    std::vector<char> visited;
+    unsigned cur_buf = 0;
+    std::atomic<std::uint64_t> added{0};  ///< vertices discovered this round
+    // Driver-owned progress (host-visible once published at a pause point).
+    std::uint64_t round = 0;
+    std::uint64_t emitted = 0;
+    Tick launch_tick = 0;
+    Tick done_tick = 0;
+    bool launched = false;
+    bool finished = false;
+    bool cancel = false;  ///< host set; driver checks at round boundaries
+  };
+
+  Query& query_of_job(kvmsr::JobId j) { return *queries_.at(job2query_.at(j)); }
+  Addr place(const QuerySpec& spec, std::uint64_t bytes);
+
+  Machine& m_;
+  kvmsr::Library* lib_ = nullptr;
+  kvmsr::CombiningCache* cc_ = nullptr;
+  std::vector<std::unique_ptr<Query>> queries_;
+  std::unordered_map<kvmsr::JobId, QueryId> job2query_;
+
+  // Event labels (registered once; per-query state rides in job ids).
+  EventLabel d_start_ = 0;
+  EventLabel tick_ = 0;
+  std::atomic<std::uint64_t> tick_seen_{0};  ///< max fired tick time
+  struct Labels {
+    EventLabel d_pr_prop_done = 0;
+    EventLabel d_pr_apply_done = 0;
+    EventLabel d_bfs_round_done = 0;
+    EventLabel d_pass_done = 0;  ///< kPathCount / kTriangles single pass
+    EventLabel pr_rec = 0;
+    EventLabel pr_rank = 0;
+    EventLabel pr_nbrs = 0;
+    EventLabel pr_acc = 0;
+    EventLabel pr_written = 0;
+    EventLabel bfs_rec = 0;
+    EventLabel bfs_nbrs = 0;
+    EventLabel bfs_written = 0;
+    EventLabel pc_rec = 0;
+    EventLabel pc_nbrs = 0;
+    EventLabel pc_deg = 0;
+    EventLabel tc_rec = 0;
+    EventLabel tc_nbrs = 0;
+    EventLabel tc_rrec = 0;
+    EventLabel tc_xchunk = 0;
+    EventLabel tc_ychunk = 0;
+  } lb_;
+};
+
+// ---- CPU oracles (host-side, for tests/benches) -----------------------------
+
+/// #{(a,b,c) : a->b and b->c} = sum_a sum_{b in N(a)} outdeg(b) — the
+/// kPathCount ground truth.
+std::uint64_t cpu_path_count(const Graph& g);
+
+}  // namespace updown::serve

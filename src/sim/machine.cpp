@@ -150,6 +150,20 @@ void Machine::send_from_host(Word event_word, const Word* ops, std::size_t nops,
   route_message(shard0(), host_entity(), host_seq_++, std::move(m), now_);
 }
 
+void Machine::send_from_host_at(Tick depart, Word event_word,
+                                std::initializer_list<Word> ops, Word cont) {
+  const Tick at = std::max(depart, now_);
+  Message m;
+  m.evw = event_word;
+  m.cont = cont;
+  m.nops = static_cast<std::uint8_t>(ops.size());
+  std::size_t i = 0;
+  for (Word w : ops) m.ops[i++] = w;
+  m.src = first_lane_of_node(0);
+  if (checker_) checker_->on_host_send(at, host_entity(), host_seq_);
+  route_message(shard0(), host_entity(), host_seq_++, std::move(m), at);
+}
+
 void Machine::push(EngineShard& sh, const QEntry& e) {
   sh.queue.push(e);
   if (sh.queue.size() > sh.stats.max_queue_depth)
@@ -480,20 +494,40 @@ bool Machine::step() {
   return true;
 }
 
-void Machine::run() {
-  if (nshards_ == 1) {
-    while (step()) {
-    }
-    if (checker_) {
-      flush_stats();  // the report writes stats_.check; totals first
-      checker_->report();
-    }
-    if (tracer_) tracer_->serialize();
-    return;
-  }
+void Machine::run() { run_until({}); }
 
+bool Machine::run_until(const std::function<bool()>& stop) {
+  const bool stopped = nshards_ == 1 ? run_serial(stop) : run_sharded(stop);
+  if (stopped) return true;
+
+  // Clean-drain finalization only: the checker's drain-state analysis (leaks,
+  // unfired continuations) and its era barrier are only sound against a
+  // quiescent machine, and the trace rewrite covers the whole simulation so
+  // far. A predicate-stopped run leaves both for the run that finally drains.
+  if (checker_) {
+    flush_stats();  // the report writes stats_.check; totals first
+    if (ck_defer_) checker_->replay_pending();  // drain safety net
+    checker_->report();
+  }
+  // Serialize only at a clean drain (cumulative rewrite: the last run() wins,
+  // covering the whole simulation so far). Faulted runs keep the previous
+  // trace file intact for post-mortem.
+  if (tracer_) tracer_->serialize();
+  return false;
+}
+
+bool Machine::run_serial(const std::function<bool()>& stop) {
+  if (stop && stop()) return true;
+  while (step())
+    if (stop && stop()) return true;
+  return false;
+}
+
+bool Machine::run_sharded(const std::function<bool()>& stop) {
   const Tick lookahead = cfg_.min_cross_node_latency();
   abort_.store(false, std::memory_order_relaxed);
+  stop_.store(false, std::memory_order_relaxed);
+  stop_pred_ = stop ? &stop : nullptr;
 #ifdef __linux__
   // UD_PIN: shard 0 runs on the caller's thread; save its affinity so the
   // host program isn't left confined to one CPU after the run.
@@ -517,6 +551,7 @@ void Machine::run() {
   if (restore_mask)
     ::pthread_setaffinity_np(::pthread_self(), sizeof(caller_mask), &caller_mask);
 #endif
+  stop_pred_ = nullptr;
 
   for (const auto& sh : shards_)
     if (sh->now > now_) now_ = sh->now;
@@ -533,16 +568,7 @@ void Machine::run() {
     std::rethrow_exception(first);
   }
 
-  if (checker_) {
-    flush_stats();  // the report writes stats_.check; totals first
-    checker_->replay_pending();  // drain safety net (normally already empty)
-    checker_->report();
-  }
-
-  // Serialize only at a clean drain (cumulative rewrite: the last run() wins,
-  // covering the whole simulation so far). Faulted runs keep the previous
-  // trace file intact for post-mortem.
-  if (tracer_) tracer_->serialize();
+  return stop_.load(std::memory_order_relaxed);
 }
 
 void Machine::merge_inbox(EngineShard& sh, std::uint32_t my) {
@@ -659,6 +685,13 @@ void Machine::run_shard(std::uint32_t my, Tick lookahead) {
       // opens the next exec phase — so the analysis trails execution by
       // exactly one window and never races with the log writers.
       if (ck_defer_ && my == 0) checker_->replay_pending();
+      // run_until stop predicate: evaluated by shard 0 only, here — between
+      // barrier B of the previous round (which published every exec-phase
+      // write) and barrier A of this one (no shard is executing). The
+      // decision is published pre-A like the abort flag, so every shard
+      // breaks at the same window boundary and no partial window runs.
+      if (my == 0 && stop_pred_ && (*stop_pred_)())
+        stop_.store(true, std::memory_order_release);
     } catch (...) {
       if (!sh.eptr) sh.eptr = std::current_exception();
     }
@@ -702,6 +735,7 @@ void Machine::run_shard(std::uint32_t my, Tick lookahead) {
 
     // 2. Same inputs on every shard -> same decision on every shard.
     if (abort_.load(std::memory_order_acquire)) break;
+    if (stop_.load(std::memory_order_acquire)) break;  // run_until pause
     Tick window = kNoEvent;
     for (std::uint32_t s = 0; s < nshards_; ++s)
       window = std::min(window, local_min_[s]);

@@ -21,6 +21,7 @@
 #include <atomic>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <typeindex>
@@ -161,6 +162,14 @@ class Machine {
                       Word cont = IGNRCONT);
   void send_from_host(Word event_word, const Word* ops, std::size_t nops,
                       Word cont = IGNRCONT);
+  /// Inject an event from the host departing at simulated tick
+  /// `max(depart, now())` instead of now(). This is how a paused host driver
+  /// (between run_until calls) models requests that arrive at a future
+  /// simulated time: the event simply waits in the queue until the engine
+  /// reaches its tick. Only callable while the engine is paused, like
+  /// send_from_host.
+  void send_from_host_at(Tick depart, Word event_word, std::initializer_list<Word> ops,
+                         Word cont = IGNRCONT);
 
   /// Run the simulation until the event queue drains (quiescence). With
   /// shards > 1, spawns the worker threads for the duration of the run; an
@@ -168,6 +177,23 @@ class Machine {
   /// boundary and is rethrown here (lowest shard index wins when several
   /// shards fault in the same window).
   void run();
+  /// Run until `stop()` returns true or the queue drains; returns true when
+  /// the stop predicate fired (the machine is PAUSED: events remain queued
+  /// and a later run()/run_until() resumes exactly where this one stopped),
+  /// false on a full drain. This is the per-job quiescence entry point: the
+  /// predicate typically tests a host-visible job flag (e.g. KVMSR
+  /// JobState::running) so one job's completion hands control back to the
+  /// host scheduler while other jobs stay in flight.
+  ///
+  /// Serial engines evaluate the predicate between events; sharded engines
+  /// evaluate it on shard 0 between lock-step windows (when no shard is
+  /// executing and every exec-phase write is barrier-published), so all
+  /// shards pause at the same window boundary. Either way the predicate only
+  /// ever observes quiescent host-side state. The checker report, its
+  /// drain-era barrier, and trace serialization are *clean-drain*
+  /// finalizations: a stopped run skips them, and the final draining run
+  /// performs them for the whole simulation.
+  bool run_until(const std::function<bool()>& stop);
   /// Execute a single queued item; returns false when the queue is empty.
   /// Serial engine only (throws std::logic_error when shards > 1).
   bool step();
@@ -291,6 +317,10 @@ class Machine {
     }
   }
 
+  /// run_until bodies: serial event loop / sharded window protocol. Each
+  /// returns true when the stop predicate fired, false on a full drain.
+  bool run_serial(const std::function<bool()>& stop);
+  bool run_sharded(const std::function<bool()>& stop);
   /// One shard's half of the window protocol (body of run() when sharded).
   void run_shard(std::uint32_t my, Tick lookahead);
   /// Merge every mailbox addressed to shard `my` into its queue.
@@ -322,6 +352,11 @@ class Machine {
   SpinBarrier barrier_;
   std::vector<Tick> local_min_;  ///< per-shard queue minimum, valid at barrier A
   std::atomic<bool> abort_{false};
+  /// run_until stop protocol: shard 0 evaluates the predicate between
+  /// barrier B and barrier A (no shard executing) and publishes here, pre-A,
+  /// exactly like abort_ — so every shard breaks at the same window boundary.
+  std::atomic<bool> stop_{false};
+  const std::function<bool()>* stop_pred_ = nullptr;  ///< valid during run_sharded
   std::uint64_t windows_ = 0;  ///< lock-step windows executed (shard 0 counts)
   bool pin_ = false;           ///< pin shard threads to CPUs (UD_PIN)
   bool steal_ = false;         ///< window-boundary work stealing (UD_STEAL)

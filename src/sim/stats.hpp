@@ -139,6 +139,36 @@ struct MachineStats {
     shuffle.merge(s.shuffle);
   }
 
+  /// Interval view for per-job stats isolation: the monotone counters since
+  /// `base` (a snapshot taken at job admission), computed by subtraction.
+  /// The gauges (`max_live_threads`, `max_queue_depth`) and `check` are NOT
+  /// interval quantities — they keep the current cumulative values, so a
+  /// per-job block reads as "counters this job's window, machine gauges as
+  /// of now". Requires `base` to be an earlier snapshot of the same machine.
+  MachineStats counters_since(const MachineStats& base) const {
+    assert(events_executed >= base.events_executed &&
+           "counters_since: base is not an earlier snapshot of this machine");
+    MachineStats d = *this;  // carries gauges + check forward
+    d.events_executed -= base.events_executed;
+    d.charged_cycles -= base.charged_cycles;
+    d.messages_sent -= base.messages_sent;
+    d.message_bytes -= base.message_bytes;
+    d.cross_node_messages -= base.cross_node_messages;
+    d.dram_reads -= base.dram_reads;
+    d.dram_writes -= base.dram_writes;
+    d.dram_bytes -= base.dram_bytes;
+    d.remote_dram_accesses -= base.remote_dram_accesses;
+    d.threads_created -= base.threads_created;
+    d.threads_destroyed -= base.threads_destroyed;
+    d.shuffle.tuples_emitted -= base.shuffle.tuples_emitted;
+    d.shuffle.tuples_combined -= base.shuffle.tuples_combined;
+    d.shuffle.messages -= base.shuffle.messages;
+    d.shuffle.coalesced_packets -= base.shuffle.coalesced_packets;
+    d.shuffle.bytes -= base.shuffle.bytes;
+    d.shuffle.cross_node_messages -= base.shuffle.cross_node_messages;
+    return d;
+  }
+
   /// Per-phase traffic summary: the shuffle split vs everything else (map
   /// fan-out, control, DRAM replies). Benches print this so figures and CI
   /// can assert on shuffle message counts directly.

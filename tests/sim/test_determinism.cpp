@@ -17,6 +17,7 @@
 #include "apps/pagerank.hpp"
 #include "apps/tc.hpp"
 #include "graph/generators.hpp"
+#include "serve/query_engine.hpp"
 
 namespace updown {
 namespace {
@@ -285,6 +286,93 @@ TEST(DeterminismMatrix, CoalescedPageRankIdenticalUnderStealing) {
   for (std::uint32_t shards : {2u, 4u, 8u})
     EXPECT_EQ(run_pr(8, shards, false, 16, /*steal=*/true), serial)
         << "shards=" << shards;
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent serve-layer jobs: two tenants (a partitioned PageRank and a
+// partitioned BFS) resident at once, launched together and driven to global
+// drain. The whole-machine fingerprint AND the per-job quantities folded into
+// `result` (each tenant's completion tick, shuffle volume, and BFS rounds)
+// must be bit-identical across shard counts, with and without UD_CHECK, and
+// with stealing on — multi-tenancy adds no nondeterminism.
+// ---------------------------------------------------------------------------
+
+RunFingerprint run_concurrent(std::uint32_t shards, bool check = false, bool steal = false) {
+  EnvGuard g1("UD_SHARDS", std::to_string(shards).c_str());
+  EnvGuard g2("UD_CHECK", check ? "1" : "0");
+  EnvGuard g3("UD_COALESCE", "1");
+  EnvGuard g4("UD_STEAL", steal ? "1" : "0");
+  EnvGuard g5("UD_STEAL_PERIOD", steal ? "2" : nullptr);
+  Machine m(MachineConfig::scaled(4));
+  auto& eng = serve::QueryEngine::install(m);
+  const auto lanes_per_node =
+      static_cast<std::uint32_t>(m.config().total_lanes() / m.config().nodes);
+
+  Graph ga = rmat(8, {}, 41);
+  const GraphPlacement pa{0, 2, 32 * 1024};
+  DeviceGraph dga = upload_graph(m, ga, pa);
+  serve::QuerySpec sa;
+  sa.kind = serve::QueryKind::kPageRank;
+  sa.graph = &dga;
+  sa.lanes = {0, 2 * lanes_per_node};
+  sa.values = pa;
+  sa.iterations = 2;
+  sa.name = "det.pr";
+
+  Graph gb = rmat(8, {.symmetrize = true}, 42);
+  const GraphPlacement pb{2, 2, 32 * 1024};
+  DeviceGraph dgb = upload_graph(m, gb, pb);
+  serve::QuerySpec sb;
+  sb.kind = serve::QueryKind::kBfs;
+  sb.graph = &dgb;
+  sb.lanes = {2 * lanes_per_node, 2 * lanes_per_node};
+  sb.values = pb;
+  sb.root = 1;
+  sb.name = "det.bfs";
+
+  const serve::QueryId qa = eng.add_query(sa);
+  const serve::QueryId qb = eng.add_query(sb);
+  eng.launch(qa);
+  eng.launch(qb);
+  m.run();
+  EXPECT_TRUE(eng.done(qa) && eng.done(qb));
+  if (check) {
+    EXPECT_TRUE(m.stats().check.enabled);
+    EXPECT_EQ(m.stats().check.errors(), 0u);
+  }
+  const serve::QueryResult ra = eng.collect(qa);
+  const serve::QueryResult rb = eng.collect(qb);
+  // Fold the per-job stats into the fingerprint so a run that redistributes
+  // work between tenants (same totals, different split) still fails.
+  std::uint64_t per_job = ra.done_tick;
+  per_job = per_job * 1000003 + ra.emitted;
+  per_job = per_job * 1000003 + rb.done_tick;
+  per_job = per_job * 1000003 + rb.emitted;
+  per_job = per_job * 1000003 + rb.rounds;
+  return fingerprint(m, std::max(ra.done_tick, rb.done_tick), per_job);
+}
+
+TEST(DeterminismMatrix, ConcurrentJobsIdenticalAcrossShardCounts) {
+  const RunFingerprint serial = run_concurrent(1);
+  EXPECT_GT(serial.events, 0u);
+  for (std::uint32_t shards : {2u, 4u})
+    EXPECT_EQ(run_concurrent(shards), serial) << "shards=" << shards;
+}
+
+TEST(DeterminismMatrix, ConcurrentJobsIdenticalUnderCheck) {
+  const RunFingerprint serial = run_concurrent(1);
+  for (std::uint32_t shards : {1u, 2u, 4u})
+    EXPECT_EQ(run_concurrent(shards, /*check=*/true), serial) << "shards=" << shards;
+}
+
+TEST(DeterminismMatrix, ConcurrentJobsIdenticalUnderStealing) {
+  const RunFingerprint serial = run_concurrent(1);
+  for (std::uint32_t shards : {2u, 4u}) {
+    EXPECT_EQ(run_concurrent(shards, false, /*steal=*/true), serial)
+        << "shards=" << shards;
+    EXPECT_EQ(run_concurrent(shards, /*check=*/true, /*steal=*/true), serial)
+        << "shards=" << shards;
+  }
 }
 
 // ---------------------------------------------------------------------------
