@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "tform/block_parse.hpp"
 #include "tform/stream_gen.hpp"
 
 namespace updown::ingest {
@@ -13,8 +14,7 @@ namespace updown::ingest {
 // starting in the block, emit a tuple per record.
 struct IngestMap : kvmsr::MapTask {
   kvmsr::JobId job = 0;
-  std::uint64_t start = 0, end = 0;          // byte range owned by this block
-  std::uint64_t read_begin = 0, read_end = 0;  // fetched byte range (8-aligned)
+  tform::BlockWindow w;
   std::vector<std::uint8_t> buf;
   std::uint64_t arrived = 0, expected = 0;
 
@@ -23,16 +23,11 @@ struct IngestMap : kvmsr::MapTask {
     auto& app = ctx.machine().user<App>();
     job = kvmsr::Library::map_job(ctx);
     const Word block = kvmsr::Library::map_key(ctx);
-    start = block * app.opt_.block_bytes;
-    end = std::min(start + app.opt_.block_bytes, app.data_bytes_);
-    // Fetch one byte before the block (record-boundary test) and up to one
-    // full record past it (boundary-spanning records).
-    read_begin = (start == 0 ? 0 : (start - 1)) & ~7ull;
-    read_end = std::min((end + tform::kRecordBytes + 7) & ~7ull, (app.data_bytes_ + 7) & ~7ull);
-    buf.assign(read_end - read_begin, 0);
-    for (std::uint64_t off = read_begin; off < read_end; off += 64) {
+    w = tform::BlockWindow::of(block, app.opt_.block_bytes, app.data_bytes_);
+    buf.assign(w.bytes(), 0);
+    for (std::uint64_t off = w.read_begin; off < w.read_end; off += 64) {
       const unsigned words =
-          static_cast<unsigned>(std::min<std::uint64_t>(8, (read_end - off) / 8));
+          static_cast<unsigned>(std::min<std::uint64_t>(8, (w.read_end - off) / 8));
       ctx.charge(2);
       ctx.send_dram_read(app.data_base_ + off, words, app.lb_.m_chunk);
       ++expected;
@@ -41,46 +36,25 @@ struct IngestMap : kvmsr::MapTask {
 
   void m_chunk(Ctx& ctx) {
     auto& app = ctx.machine().user<App>();
-    const std::uint64_t off = ctx.ccont() - app.data_base_ - read_begin;
+    const std::uint64_t off = ctx.ccont() - app.data_base_ - w.read_begin;
     for (unsigned i = 0; i < ctx.nops(); ++i) {
-      const Word w = ctx.op(i);
-      std::memcpy(buf.data() + off + i * 8, &w, 8);
+      const Word word = ctx.op(i);
+      std::memcpy(buf.data() + off + i * 8, &word, 8);
     }
     ctx.charge(ctx.nops());
     if (++arrived == expected) parse(ctx);
   }
 
  private:
-  std::uint8_t byte_at(std::uint64_t file_off) const { return buf[file_off - read_begin]; }
-
   void parse(Ctx& ctx) {
     auto& app = ctx.machine().user<App>();
-    // A record belongs to the block where it starts. Skip to the first
-    // record boundary at or after `start`.
-    std::uint64_t pos = start;
-    if (start != 0 && byte_at(start - 1) != '\n') {
-      while (pos < end && byte_at(pos) != '\n') ++pos;
-      ++pos;  // byte after the newline
-      ctx.charge(tform::parse_cost(pos - start));
-    }
-    if (pos >= end || pos >= app.data_bytes_) {
-      app.lib_->map_return(ctx, kvmsr_cont);
-      return;
-    }
-    // Parse up to the end of the record spanning `end` (exclusive search for
-    // the first newline at or after end-1).
-    std::uint64_t stop = std::min(end, app.data_bytes_);
-    while (stop < app.data_bytes_ && byte_at(stop - 1) != '\n') ++stop;
-    ctx.charge(tform::parse_cost(stop - pos));
-
-    tform::Fst::Cursor cur;
-    app.fst_.run({buf.data() + (pos - read_begin), stop - pos}, cur,
-                 [&](const std::vector<Word>& fields) {
-                   if (fields.size() != 3)
-                     throw std::runtime_error("ingest: malformed record");
-                   ctx.charge(1);
-                   app.lib_->emit2(ctx, job, fields[0], fields[1], fields[2]);
-                 });
+    tform::parse_block(ctx, app.fst_, buf.data(), w, app.data_bytes_,
+                       [&](const std::vector<Word>& fields) {
+                         if (fields.size() != 3)
+                           throw std::runtime_error("ingest: malformed record");
+                         ctx.charge(1);
+                         app.lib_->emit2(ctx, job, fields[0], fields[1], fields[2]);
+                       });
     app.lib_->map_return(ctx, kvmsr_cont);
   }
 };

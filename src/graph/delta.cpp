@@ -1,0 +1,124 @@
+#include "graph/delta.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace updown {
+
+namespace {
+
+Graph reverse_of(const Graph& g) {
+  std::vector<Edge> redges;
+  redges.reserve(g.num_edges());
+  for (VertexId u = 0; u < g.num_vertices(); ++u)
+    for (VertexId v : g.neighbors_of(u)) redges.emplace_back(v, u);
+  // from_edges infers n from the max endpoint only via the caller; pass the
+  // vertex count explicitly so isolated tail vertices keep their slots.
+  return Graph::from_edges(g.num_vertices(), std::move(redges), false);
+}
+
+/// Merge one vertex's sorted adjacency with its (unsorted, possibly
+/// duplicated) pending inserts. Appends the merged list to `out`, and each
+/// actually-new edge source->target to `fresh`. Returns true if the list
+/// changed.
+bool merge_vertex(VertexId src, std::span<const VertexId> old,
+                  std::vector<VertexId>& pend, std::vector<VertexId>& out,
+                  std::vector<Edge>& fresh) {
+  std::sort(pend.begin(), pend.end());
+  pend.erase(std::unique(pend.begin(), pend.end()), pend.end());
+  bool changed = false;
+  std::size_t i = 0, j = 0;
+  while (i < old.size() || j < pend.size()) {
+    if (j == pend.size() || (i < old.size() && old[i] <= pend[j])) {
+      if (j < pend.size() && old[i] == pend[j]) ++j;  // duplicate of existing
+      out.push_back(old[i++]);
+    } else {
+      const VertexId v = pend[j++];
+      if (v == src) continue;  // self-loop: from_edges drops these
+      out.push_back(v);
+      fresh.emplace_back(src, v);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+DeltaGraph::DeltaGraph(Graph base) : csr_(std::move(base)) {
+  if (!csr_.sorted())
+    throw std::invalid_argument(
+        "DeltaGraph: base graph must have sorted adjacency (from_edges output)");
+  rcsr_ = reverse_of(csr_);
+  overlay_.resize(csr_.num_vertices());
+}
+
+void DeltaGraph::stage(std::uint64_t batch, VertexId u, VertexId v) {
+  if (batch >= batches_) throw std::out_of_range("DeltaGraph: stage into unknown batch");
+  if (u >= num_vertices() || v >= num_vertices())
+    throw std::out_of_range("DeltaGraph: delta edge endpoint out of range");
+  overlay_[u].push_back(v);
+  ++staged_;
+}
+
+bool DeltaGraph::has_edge(VertexId u, VertexId v) const {
+  if (u >= num_vertices() || v >= num_vertices()) return false;
+  if (csr_.has_edge(u, v)) return true;
+  const auto& pend = overlay_[u];
+  return std::find(pend.begin(), pend.end(), v) != pend.end();
+}
+
+DeltaGraph::CompactionResult DeltaGraph::compact() {
+  CompactionResult r;
+  r.staged = staged_;
+  ++epochs_;
+  if (staged_ == 0) return r;
+
+  const VertexId n = num_vertices();
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(n + 1);
+  offsets.push_back(0);
+  std::vector<VertexId> neighbors;
+  neighbors.reserve(csr_.num_edges() + staged_);
+  std::vector<Edge> fresh;  // actually-inserted edges, drives the reverse side
+  for (VertexId u = 0; u < n; ++u) {
+    const auto old = csr_.neighbors_of(u);
+    if (overlay_[u].empty()) {
+      neighbors.insert(neighbors.end(), old.begin(), old.end());
+    } else if (merge_vertex(u, old, overlay_[u], neighbors, fresh)) {
+      r.touched_fwd.push_back(u);
+    }
+    overlay_[u].clear();
+    overlay_[u].shrink_to_fit();
+    offsets.push_back(neighbors.size());
+  }
+  csr_ = Graph::from_csr(std::move(offsets), std::move(neighbors), /*sorted=*/true);
+  r.inserted = fresh.size();
+
+  if (!fresh.empty()) {
+    // Reverse side: group the fresh edges by target and run the same merge.
+    std::vector<std::vector<VertexId>> rpend(n);
+    for (const auto& [u, v] : fresh) rpend[v].push_back(u);
+    std::vector<std::uint64_t> roffsets;
+    roffsets.reserve(n + 1);
+    roffsets.push_back(0);
+    std::vector<VertexId> rneighbors;
+    rneighbors.reserve(rcsr_.num_edges() + fresh.size());
+    std::vector<Edge> unused;
+    for (VertexId v = 0; v < n; ++v) {
+      const auto old = rcsr_.neighbors_of(v);
+      if (rpend[v].empty()) {
+        rneighbors.insert(rneighbors.end(), old.begin(), old.end());
+      } else if (merge_vertex(v, old, rpend[v], rneighbors, unused)) {
+        r.touched_rev.push_back(v);
+      }
+      roffsets.push_back(rneighbors.size());
+    }
+    rcsr_ = Graph::from_csr(std::move(roffsets), std::move(rneighbors), /*sorted=*/true);
+  }
+  staged_ = 0;
+  return r;
+}
+
+}  // namespace updown

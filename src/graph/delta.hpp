@@ -1,0 +1,77 @@
+// Mutable host graph for streaming ingestion: a resident CSR snapshot plus
+// per-vertex edge-delta overlays.
+//
+// Insert batches are STAGED into the overlay while queries keep reading the
+// snapshot; at a deterministic epoch boundary compact() merges every staged
+// batch into fresh CSR arrays (forward and reverse). Compaction is a pure
+// function of the staged edge SET — per-vertex sorted-unique union with
+// self-loops dropped, i.e. exactly Graph::from_edges semantics — so the
+// post-epoch graph is independent of batch arrival order and of the order
+// edges were appended within a batch. That is what lets incremental results
+// be cross-checked bit-for-bit against from-scratch CPU baselines on
+// `from_edges(old_edges + delta_edges)`.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace updown {
+
+class DeltaGraph {
+ public:
+  /// Adopts `base` as the resident snapshot and builds its reverse CSR.
+  /// Requires sorted adjacency (from_edges output) — the compaction merge and
+  /// the incremental kernels' position-indexed gathers rely on it.
+  explicit DeltaGraph(Graph base);
+
+  /// The resident forward CSR (post last compaction). The reference is
+  /// stable across compact() calls.
+  const Graph& csr() const { return csr_; }
+  /// Reverse CSR: rcsr().neighbors_of(v) = in-neighbors of v, sorted.
+  const Graph& rcsr() const { return rcsr_; }
+  VertexId num_vertices() const { return csr_.num_vertices(); }
+
+  /// Open a new staging batch; returns its id (dense, starting at 0).
+  std::uint64_t begin_batch() { return batches_++; }
+
+  /// Stage edge u->v into `batch`'s overlay. Duplicates and self-loops are
+  /// accepted here and dropped at compaction. Throws std::out_of_range on a
+  /// bad endpoint or unknown batch (a malformed delta must not become UB).
+  void stage(std::uint64_t batch, VertexId u, VertexId v);
+
+  std::uint64_t staged_edges() const { return staged_; }
+  std::uint64_t batches() const { return batches_; }
+  /// Epochs completed (compact() calls).
+  std::uint64_t epochs() const { return epochs_; }
+
+  /// Pending (staged, not yet compacted) inserts out of u, in append order.
+  std::span<const VertexId> pending(VertexId u) const { return overlay_.at(u); }
+
+  /// Membership across snapshot + overlay: what a reader that wants
+  /// uncommitted deltas would see.
+  bool has_edge(VertexId u, VertexId v) const;
+
+  struct CompactionResult {
+    std::vector<VertexId> touched_fwd;  ///< sources whose adjacency changed
+    std::vector<VertexId> touched_rev;  ///< targets whose in-list changed
+    std::uint64_t inserted = 0;         ///< edges actually new to the graph
+    std::uint64_t staged = 0;           ///< overlay entries consumed
+  };
+
+  /// Merge every staged batch into the forward and reverse CSRs and clear
+  /// the overlay. Touched lists are ascending and deduplicated.
+  CompactionResult compact();
+
+ private:
+  Graph csr_;
+  Graph rcsr_;
+  std::vector<std::vector<VertexId>> overlay_;  ///< per-vertex pending inserts
+  std::uint64_t staged_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t epochs_ = 0;
+};
+
+}  // namespace updown

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -26,21 +27,35 @@ class Graph {
 
   /// Adopt prebuilt CSR arrays verbatim (no dedup/sort/self-loop removal).
   /// Used where vertex and neighbor id spaces intentionally differ, e.g. the
-  /// split-vertex graph whose neighbors are original-graph ids.
-  static Graph from_csr(std::vector<std::uint64_t> offsets, std::vector<VertexId> neighbors) {
+  /// split-vertex graph whose neighbors are original-graph ids. Adjacency
+  /// lists are NOT assumed sorted unless the caller vouches for it via
+  /// `sorted` — has_edge degrades to a linear scan otherwise.
+  static Graph from_csr(std::vector<std::uint64_t> offsets, std::vector<VertexId> neighbors,
+                        bool sorted = false) {
     Graph g;
     g.offsets_ = std::move(offsets);
     g.neighbors_ = std::move(neighbors);
+    g.sorted_ = sorted;
     return g;
   }
 
   VertexId num_vertices() const { return offsets_.size() - 1; }
   std::uint64_t num_edges() const { return neighbors_.size(); }
+  /// Every adjacency list is sorted ascending (from_edges output); binary
+  /// search in has_edge and merge-intersection (TC) are valid.
+  bool sorted() const { return sorted_; }
 
-  std::uint64_t degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
-  std::uint64_t offset(VertexId v) const { return offsets_[v]; }
+  std::uint64_t degree(VertexId v) const {
+    assert(v < num_vertices() && "Graph::degree: vertex id out of range");
+    return offsets_[v + 1] - offsets_[v];
+  }
+  std::uint64_t offset(VertexId v) const {
+    assert(v < num_vertices() && "Graph::offset: vertex id out of range");
+    return offsets_[v];
+  }
 
   std::span<const VertexId> neighbors_of(VertexId v) const {
+    assert(v < num_vertices() && "Graph::neighbors_of: vertex id out of range");
     return {neighbors_.data() + offsets_[v], degree(v)};
   }
 
@@ -55,12 +70,17 @@ class Graph {
 
   bool has_edge(VertexId u, VertexId v) const {
     const auto nbrs = neighbors_of(u);
-    return std::binary_search(nbrs.begin(), nbrs.end(), v);
+    // binary_search on an unsorted adjacency list (a from_csr adoption, e.g.
+    // the split-vertex graph) silently returns wrong answers — fall back to
+    // the linear scan there.
+    if (sorted_) return std::binary_search(nbrs.begin(), nbrs.end(), v);
+    return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
   }
 
  private:
   std::vector<std::uint64_t> offsets_;  ///< size num_vertices + 1
   std::vector<VertexId> neighbors_;
+  bool sorted_ = true;  ///< default-constructed/from_edges graphs are sorted
 };
 
 }  // namespace updown

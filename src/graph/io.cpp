@@ -82,7 +82,18 @@ Graph read_binary(const std::string& prefix) {
   std::vector<VertexId> neighbors(m);
   nl.read(reinterpret_cast<char*>(neighbors.data()), static_cast<std::streamsize>(m * 8));
   check(nl, "read neighbor list");
-  return Graph::from_csr(std::move(offsets), std::move(neighbors));
+  // Binary files written by write_binary come from from_edges output (sorted
+  // adjacency), but the format doesn't record that — verify with one O(m)
+  // scan (cheap next to the file read) so has_edge/TC keep their fast paths
+  // only when they are actually valid.
+  bool sorted = true;
+  for (std::uint64_t v = 0; v < n && sorted; ++v)
+    for (std::uint64_t i = offsets[v] + 1; i < offsets[v + 1]; ++i)
+      if (neighbors[i - 1] >= neighbors[i]) {
+        sorted = false;
+        break;
+      }
+  return Graph::from_csr(std::move(offsets), std::move(neighbors), sorted);
 }
 
 }  // namespace updown

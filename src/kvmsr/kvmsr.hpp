@@ -101,6 +101,10 @@ struct JobSpec {
   Combiner combiner = Combiner::kNone;
   /// Value-merge function for Combiner::kUser: merged = fn(old, incoming).
   std::function<Word(Word, Word)> combine_fn;
+  /// Opaque job tag, readable from user events via Library::spec(job).tag.
+  /// The stream layer stamps each delta-ingest job with its batch id so the
+  /// reduce handlers append parsed edges into the right staging batch.
+  Word tag = 0;
   std::string name = "kvmsr";
 };
 

@@ -14,6 +14,8 @@ const char* kind_name(QueryKind k) {
     case QueryKind::kBfs: return "bfs";
     case QueryKind::kPathCount: return "pathcount";
     case QueryKind::kTriangles: return "triangles";
+    case QueryKind::kIncPageRank: return "inc_pagerank";
+    case QueryKind::kIncBfs: return "inc_bfs";
   }
   return "?";
 }
@@ -59,6 +61,20 @@ struct SqDriver : ThreadState {
       case QueryKind::kPathCount:
       case QueryKind::kTriangles:
         launch_main(ctx, eng, q, eng.lb_.d_pass_done);
+        break;
+      case QueryKind::kIncPageRank:
+        if (q.spec.iterations == 0 || q.seeded == 0) {
+          finish(ctx, eng, q);
+          return;
+        }
+        launch_main(ctx, eng, q, eng.lb_.d_ipr_round_done);
+        break;
+      case QueryKind::kIncBfs:
+        if (q.seeded == 0) {
+          finish(ctx, eng, q);
+          return;
+        }
+        launch_main(ctx, eng, q, eng.lb_.d_ibfs_round_done);
         break;
     }
   }
@@ -108,10 +124,70 @@ struct SqDriver : ThreadState {
     finish(ctx, eng, q);
   }
 
+  void d_ipr_round_done(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    auto& q = *eng.queries_.at(qid);
+    q.emitted += ctx.op(0);
+    q.round++;
+    if (q.cancel || q.round >= q.spec.iterations) {
+      finish(ctx, eng, q);
+      return;
+    }
+    // Expand the affected set for the next sweep: A_{k+1} = A_k ∪ N_out(A_k).
+    // Anything a changed sweep-k rank can reach at sweep k+1 gets re-ranked;
+    // every other vertex's rank_hist[k+1] entry is already the full-sweep
+    // value. Host-side state (frontier[0] as two-phase scratch), ordered by
+    // the round's gather -> driver -> relaunch message chain.
+    const serve::ResidentState* rs = q.spec.resident;
+    const Graph& g = *rs->csr;
+    const VertexId nv = g.num_vertices();
+    if (q.seeded < nv) {
+      for (VertexId u = 0; u < nv; ++u)
+        if (q.visited[u])
+          for (const VertexId w : g.neighbors_of(u))
+            if (!q.visited[w]) q.frontier[0][w] = 1;
+      for (VertexId w = 0; w < nv; ++w)
+        if (q.frontier[0][w]) {
+          q.visited[w] = 1;
+          q.frontier[0][w] = 0;
+        }
+      q.alist.clear();
+      for (VertexId v = 0; v < nv; ++v)
+        if (q.visited[v]) q.alist.push_back(v);
+    }
+    launch_main(ctx, eng, q, eng.lb_.d_ipr_round_done);
+  }
+
+  void d_ibfs_round_done(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    auto& q = *eng.queries_.at(qid);
+    q.emitted += ctx.op(0);
+    q.round++;
+    if (q.cancel || q.added.load(std::memory_order_relaxed) == 0) {
+      finish(ctx, eng, q);
+      return;
+    }
+    std::fill(q.frontier[q.cur_buf].begin(), q.frontier[q.cur_buf].end(), 0);
+    q.cur_buf ^= 1;
+    q.added.store(0, std::memory_order_relaxed);
+    // Snapshot the improved levels for the next round's map tasks: levels is
+    // only written here, at the round barrier, so maps never race the
+    // reduce-side dist updates within a round.
+    const serve::ResidentState* rs = q.spec.resident;
+    const VertexId nv = q.spec.graph->num_vertices;
+    for (VertexId v = 0; v < nv; ++v)
+      if (q.frontier[q.cur_buf][v]) q.levels[v] = rs->dist[v];
+    launch_main(ctx, eng, q, eng.lb_.d_ibfs_round_done);
+  }
+
  private:
   void launch_main(Ctx& ctx, QueryEngine& eng, QueryEngine::Query& q, EventLabel done) {
-    eng.lib_->launch(ctx, q.job, 0, q.spec.graph->num_vertices,
-                     ctx.evw_update_event(ctx.cevnt(), done));
+    // kIncPageRank sweeps launch only the affected keys (via alist
+    // indirection); everything else maps over the full vertex range.
+    const std::uint64_t hi = q.spec.kind == QueryKind::kIncPageRank
+                                 ? q.alist.size()
+                                 : q.spec.graph->num_vertices;
+    eng.lib_->launch(ctx, q.job, 0, hi, ctx.evw_update_event(ctx.cevnt(), done));
   }
 
   void finish(Ctx& ctx, QueryEngine& eng, QueryEngine::Query& q) {
@@ -525,6 +601,228 @@ struct SqTcReduce : ThreadState {
 };
 
 // ---------------------------------------------------------------------------
+// Incremental PageRank sweep: pull-over-reverse-CSR, affected vertices only.
+// The map task for an affected v gathers v's in-neighbor list from the
+// resident REVERSE graph, then for each in-neighbor u reads its live
+// out-degree (forward vertex record) and its sweep-(k-1) rank from the
+// resident rank history, and accumulates pr(u)/outdeg(u) in ascending-u
+// order — the exact quotients and addition order of the from-scratch Jacobi
+// baseline, so the refreshed rank_hist[k][v] is bit-equal to a full sweep.
+// Map-only job: the result is an acked in-place write, nothing shuffles.
+// ---------------------------------------------------------------------------
+struct SqIprMap : kvmsr::MapTask {
+  kvmsr::JobId job = 0;
+  Word v = 0;
+  Word rdeg = 0;
+  Word rptr = 0;
+  std::vector<Word> ids;    ///< in-neighbor ids, ascending (rev CSR is sorted)
+  Word ids_got = 0;
+  std::vector<Word> degs;   ///< out-degree per in-neighbor position
+  std::vector<Word> ranks;  ///< sweep-(k-1) rank bits per position
+  Word got = 0, need = 0;
+
+  void kv_map(Ctx& ctx) {
+    kvmsr_begin(ctx);
+    auto& eng = ctx.machine().service<QueryEngine>();
+    job = kvmsr::Library::map_job(ctx);
+    auto& q = eng.query_of_job(job);
+    // Keys index the compact affected list, not the vertex range: sweeps
+    // never spawn tasks for untouched vertices.
+    v = q.alist[kvmsr::Library::map_key(ctx)];
+    ctx.charge(1);  // scratchpad affected-list lookup
+    ctx.send_dram_read(q.spec.graph->vertex_addr(v), 8, eng.lb_.ipr_rrec);
+  }
+
+  void ipr_rrec(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    rdeg = ctx.op(DeviceGraph::kDegree);
+    rptr = ctx.op(DeviceGraph::kNbrPtr);
+    ctx.charge(2);
+    if (rdeg == 0) {
+      finalize(ctx, 0.0);
+      return;
+    }
+    ids.assign(rdeg, 0);
+    for (Word i = 0; i < rdeg; i += 8) {
+      const unsigned n = static_cast<unsigned>(std::min<Word>(8, rdeg - i));
+      ctx.charge(2);
+      ctx.send_dram_read(rptr + i * 8, n, eng.lb_.ipr_ids);
+    }
+  }
+
+  void ipr_ids(Ctx& ctx) {
+    const Word base = (ctx.ccont() - rptr) / 8;
+    for (unsigned i = 0; i < ctx.nops(); ++i) {
+      ctx.charge(1);
+      ids[base + i] = ctx.op(i);
+    }
+    ids_got += ctx.nops();
+    if (ids_got == rdeg) gather(ctx);
+  }
+
+  void ipr_deg(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    const ResidentState* rs = eng.query_of_job(job).spec.resident;
+    const Word u = (ctx.ccont() - rs->fwd->field_addr(0, DeviceGraph::kDegree)) /
+                   DeviceGraph::kVertexBytes;
+    ctx.charge(1);
+    degs[position_of(u)] = ctx.op(0);
+    if (++got == need) accumulate(ctx);
+  }
+
+  void ipr_rank(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    auto& q = eng.query_of_job(job);
+    const Word u = (ctx.ccont() - q.spec.resident->rank_hist[q.round - 1]) / 8;
+    ctx.charge(1);
+    ranks[position_of(u)] = ctx.op(0);
+    if (++got == need) accumulate(ctx);
+  }
+
+  void ipr_written(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    eng.lib_->map_return(ctx, kvmsr_cont);
+  }
+
+ private:
+  Word position_of(Word u) const {
+    return static_cast<Word>(std::lower_bound(ids.begin(), ids.end(), u) -
+                             ids.begin());
+  }
+
+  void gather(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    auto& q = eng.query_of_job(job);
+    const ResidentState* rs = q.spec.resident;
+    const Word k = q.round;
+    degs.assign(rdeg, 0);
+    ranks.assign(rdeg, 0);
+    got = 0;
+    need = rdeg * (k ? 2 : 1);
+    for (const Word u : ids) {
+      ctx.charge(1);
+      ctx.send_dram_read(rs->fwd->field_addr(u, DeviceGraph::kDegree), 1,
+                         eng.lb_.ipr_deg);
+      // Sweep 0 reads the uniform 1/n init inline; later sweeps read the
+      // previous sweep's resident rank array.
+      if (k) ctx.send_dram_read(rs->rank_hist[k - 1] + u * 8, 1, eng.lb_.ipr_rank);
+    }
+  }
+
+  void accumulate(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    auto& q = eng.query_of_job(job);
+    const double inv_n =
+        1.0 / static_cast<double>(q.spec.graph->num_original);
+    double acc = 0.0;
+    for (Word pos = 0; pos < rdeg; ++pos) {
+      const double pr_u =
+          q.round ? std::bit_cast<double>(ranks[pos]) : inv_n;
+      ctx.charge(2);
+      acc += pr_u / static_cast<double>(degs[pos]);
+    }
+    finalize(ctx, acc);
+  }
+
+  void finalize(Ctx& ctx, double acc) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    auto& q = eng.query_of_job(job);
+    const double n = static_cast<double>(q.spec.graph->num_original);
+    const double rank = (1.0 - q.spec.damping) / n + q.spec.damping * acc;
+    ctx.charge(4);
+    // Acked: the next sweep reads this array; the write must be durable
+    // before the round completes.
+    ctx.send_dram_write(q.spec.resident->rank_hist[q.round] + v * 8,
+                        {std::bit_cast<Word>(rank)}, eng.lb_.ipr_written);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Incremental BFS frontier repair: seeded from delta-touched sources, each
+// round relaxes `dist` monotonically downward (improve-test in the reduce),
+// so final levels are independent of message arrival order — and of shard
+// count, work stealing, and unrelated concurrent jobs. Map tasks read level
+// candidates from the per-round `levels` snapshot, never live dist.
+// ---------------------------------------------------------------------------
+struct SqIbfsMap : kvmsr::MapTask {
+  kvmsr::JobId job = 0;
+  Word v = 0;
+  Word degree = 0;
+  Word nbr_ptr = 0;
+  Word level_out = 0;
+  Word loaded = 0;
+
+  void kv_map(Ctx& ctx) {
+    kvmsr_begin(ctx);
+    auto& eng = ctx.machine().service<QueryEngine>();
+    job = kvmsr::Library::map_job(ctx);
+    v = kvmsr::Library::map_key(ctx);
+    auto& q = eng.query_of_job(job);
+    ctx.charge(1);  // scratchpad frontier-flag probe
+    if (!q.frontier[q.cur_buf][v]) {
+      eng.lib_->map_return(ctx, kvmsr_cont);
+      return;
+    }
+    ctx.charge(1);  // level-snapshot fetch
+    level_out = q.levels[v] + 1;
+    ctx.send_dram_read(q.spec.graph->vertex_addr(v), 8, eng.lb_.ibfs_rec);
+  }
+
+  void ibfs_rec(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    degree = ctx.op(DeviceGraph::kDegree);
+    nbr_ptr = ctx.op(DeviceGraph::kNbrPtr);
+    ctx.charge(2);
+    if (degree == 0) {
+      eng.lib_->map_return(ctx, kvmsr_cont);
+      return;
+    }
+    for (Word i = 0; i < degree; i += 8) {
+      const unsigned n = static_cast<unsigned>(std::min<Word>(8, degree - i));
+      ctx.charge(2);
+      ctx.send_dram_read(nbr_ptr + i * 8, n, eng.lb_.ibfs_nbrs);
+    }
+  }
+
+  void ibfs_nbrs(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    for (unsigned i = 0; i < ctx.nops(); ++i) {
+      ctx.charge(1);
+      eng.lib_->emit(ctx, job, ctx.op(i), level_out);
+    }
+    loaded += ctx.nops();
+    if (loaded == degree) eng.lib_->map_return(ctx, kvmsr_cont);
+  }
+};
+
+struct SqIbfsReduce : ThreadState {
+  kvmsr::JobId job = 0;
+
+  void kv_reduce(Ctx& ctx) {
+    auto& eng = ctx.machine().service<QueryEngine>();
+    job = kvmsr::Library::reduce_job(ctx);
+    auto& q = eng.query_of_job(job);
+    ResidentState* rs = q.spec.resident;
+    const Word w = kvmsr::Library::reduce_key(ctx);
+    const Word level = kvmsr::Library::reduce_val(ctx);
+    ctx.charge(2);  // improve-test against the lane-owned mirror entry
+    if (level >= rs->dist[w]) {
+      eng.lib_->reduce_return(ctx, job);
+      return;
+    }
+    rs->dist[w] = level;  // w's hash-owner lane serializes updates to dist[w]
+    q.frontier[q.cur_buf ^ 1][w] = 1;
+    q.added.fetch_add(1, std::memory_order_relaxed);
+    ctx.charge(1);
+    ctx.send_dram_write(rs->dist_base + w * 8, {level}, eng.lb_.ibfs_written);
+  }
+
+  void ibfs_written(Ctx& ctx) {
+    ctx.machine().service<QueryEngine>().lib_->reduce_return(ctx, job);
+  }
+};
+
+// ---------------------------------------------------------------------------
 // QueryEngine
 // ---------------------------------------------------------------------------
 
@@ -560,6 +858,16 @@ QueryEngine::QueryEngine(Machine& m) : m_(m) {
   lb_.tc_rrec = p.event("serve::tc_rrec", &SqTcReduce::tc_rrec);
   lb_.tc_xchunk = p.event("serve::tc_xchunk", &SqTcReduce::tc_xchunk);
   lb_.tc_ychunk = p.event("serve::tc_ychunk", &SqTcReduce::tc_ychunk);
+  lb_.d_ipr_round_done = p.event("serve::d_ipr_round_done", &SqDriver::d_ipr_round_done);
+  lb_.d_ibfs_round_done = p.event("serve::d_ibfs_round_done", &SqDriver::d_ibfs_round_done);
+  lb_.ipr_rrec = p.event("serve::ipr_rrec", &SqIprMap::ipr_rrec);
+  lb_.ipr_ids = p.event("serve::ipr_ids", &SqIprMap::ipr_ids);
+  lb_.ipr_deg = p.event("serve::ipr_deg", &SqIprMap::ipr_deg);
+  lb_.ipr_rank = p.event("serve::ipr_rank", &SqIprMap::ipr_rank);
+  lb_.ipr_written = p.event("serve::ipr_written", &SqIprMap::ipr_written);
+  lb_.ibfs_rec = p.event("serve::ibfs_rec", &SqIbfsMap::ibfs_rec);
+  lb_.ibfs_nbrs = p.event("serve::ibfs_nbrs", &SqIbfsMap::ibfs_nbrs);
+  lb_.ibfs_written = p.event("serve::ibfs_written", &SqIbfsReduce::ibfs_written);
 }
 
 Addr QueryEngine::place(const QuerySpec& spec, std::uint64_t bytes) {
@@ -571,6 +879,10 @@ Addr QueryEngine::place(const QuerySpec& spec, std::uint64_t bytes) {
 }
 
 QueryId QueryEngine::add_query(QuerySpec spec) {
+  if (!spec.graph && spec.resident) {
+    if (spec.kind == QueryKind::kIncPageRank) spec.graph = spec.resident->rev;
+    if (spec.kind == QueryKind::kIncBfs) spec.graph = spec.resident->fwd;
+  }
   if (!spec.graph) throw std::invalid_argument("serve: QuerySpec::graph is null");
   if (spec.graph->num_vertices != spec.graph->num_original)
     throw std::invalid_argument(
@@ -661,6 +973,71 @@ QueryId QueryEngine::add_query(QuerySpec spec) {
       q.job = lib_->add_job(js);
       break;
     }
+    case QueryKind::kIncPageRank: {
+      ResidentState* rs = q.spec.resident;
+      if (!rs || !rs->rev || !rs->fwd || !rs->csr)
+        throw std::invalid_argument(
+            "serve: kIncPageRank requires a ResidentState with fwd/rev/csr");
+      if (q.spec.iterations != rs->rank_hist.size())
+        throw std::invalid_argument(
+            "serve: kIncPageRank iterations must equal rank_hist depth");
+      q.visited.assign(nv, 0);     // affected flags
+      q.frontier[0].assign(nv, 0);  // expansion scratch
+      if (q.spec.seeds == QuerySpec::Seeds::kAll) {
+        std::fill(q.visited.begin(), q.visited.end(), 1);
+        q.seeded = nv;
+      } else {
+        for (const VertexId v : rs->pr_dirty)
+          if (v < nv && !q.visited[v]) {
+            q.visited[v] = 1;
+            ++q.seeded;
+          }
+        rs->pr_dirty.clear();
+      }
+      q.alist.reserve(q.seeded);
+      for (VertexId v = 0; v < nv; ++v)
+        if (q.visited[v]) q.alist.push_back(v);
+      js.kv_map = p.event("serve::ipr_map", &SqIprMap::kv_map);
+      js.name = q.spec.name + ".rank";
+      q.job = lib_->add_job(js);
+      break;
+    }
+    case QueryKind::kIncBfs: {
+      ResidentState* rs = q.spec.resident;
+      if (!rs || !rs->fwd)
+        throw std::invalid_argument("serve: kIncBfs requires a ResidentState");
+      if (rs->dist.size() != nv)
+        throw std::invalid_argument(
+            "serve: ResidentState dist mirror does not match the graph");
+      q.frontier[0].assign(nv, 0);
+      q.frontier[1].assign(nv, 0);
+      if (q.spec.seeds == QuerySpec::Seeds::kAll) {
+        if (q.spec.root >= nv)
+          throw std::invalid_argument("serve: BFS root out of range");
+        // Full traversal from scratch: reset the resident levels.
+        std::fill(rs->dist.begin(), rs->dist.end(), kInfDist);
+        rs->dist[q.spec.root] = 0;
+        for (VertexId v = 0; v < nv; ++v)
+          m_.memory().host_store<Word>(rs->dist_base + v * 8, rs->dist[v]);
+        q.frontier[0][q.spec.root] = 1;
+        q.seeded = 1;
+      } else {
+        // Repair: only delta-touched sources that are themselves reachable
+        // can lower a neighbor's level.
+        for (const VertexId v : rs->bfs_dirty)
+          if (v < nv && rs->dist[v] != kInfDist && !q.frontier[0][v]) {
+            q.frontier[0][v] = 1;
+            ++q.seeded;
+          }
+        rs->bfs_dirty.clear();
+      }
+      q.levels = rs->dist;
+      js.kv_map = p.event("serve::ibfs_map", &SqIbfsMap::kv_map);
+      js.kv_reduce = p.event("serve::ibfs_reduce", &SqIbfsReduce::kv_reduce);
+      js.name = q.spec.name + ".repair";
+      q.job = lib_->add_job(js);
+      break;
+    }
   }
   job2query_[q.job] = q.id;
   queries_.push_back(std::move(qp));
@@ -724,6 +1101,19 @@ QueryResult QueryEngine::collect(QueryId qid) const {
     case QueryKind::kTriangles:
       for (std::uint32_t l = 0; l < q.rlanes.count; ++l)
         r.count += m_.memory().host_load<Word>(q.cells_base + static_cast<Addr>(l) * 8);
+      break;
+    case QueryKind::kIncPageRank:
+      if (!q.spec.resident->rank_hist.empty()) {
+        const Addr last = q.spec.resident->rank_hist.back();
+        r.rank.resize(nv);
+        for (VertexId v = 0; v < nv; ++v)
+          r.rank[v] = m_.memory().host_load<double>(last + v * 8);
+      }
+      break;
+    case QueryKind::kIncBfs:
+      r.dist.resize(nv);
+      for (VertexId v = 0; v < nv; ++v)
+        r.dist[v] = m_.memory().host_load<Word>(q.spec.resident->dist_base + v * 8);
       break;
   }
   return r;

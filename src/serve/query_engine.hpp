@@ -26,6 +26,16 @@
 //                stand-in: a two-edge pattern-matching query in one
 //                map+reduce pass (cf. apps/partial_match).
 //   kTriangles — triangle count, the tc app's stream-intersect reduce.
+//   kIncPageRank — incremental PageRank refresh over a streaming ResidentState
+//                (src/stream/): re-ranks only the delta-affected frontier, one
+//                pull sweep per round against the resident rank history, each
+//                round's affected set expanded host-side by the driver. Writes
+//                land in the SAME rank_hist arrays a from-scratch pull sweep
+//                would produce, so results are bit-equal to full recomputation.
+//   kIncBfs    — incremental BFS frontier repair: seeded from delta-touched
+//                sources, relaxes `dist` monotonically downward until no
+//                vertex improves. With Seeds::kAll it doubles as the full BFS
+//                that warms the resident state.
 //
 // Results are value-deterministic for a fixed machine + shard count; queries
 // whose lane partition, graph copy, and value arrays are confined to a
@@ -49,9 +59,37 @@ namespace updown::serve {
 
 using QueryId = std::uint32_t;
 
-enum class QueryKind : std::uint8_t { kPageRank, kBfs, kPathCount, kTriangles };
+enum class QueryKind : std::uint8_t {
+  kPageRank,
+  kBfs,
+  kPathCount,
+  kTriangles,
+  kIncPageRank,
+  kIncBfs,
+};
 
 const char* kind_name(QueryKind k);
+
+/// Device + host state an incremental query refreshes in place, owned by the
+/// streaming session (stream::StreamEngine) and outliving any single query.
+/// The serve layer takes it by pointer so serve/ does not depend on stream/.
+struct ResidentState {
+  const DeviceGraph* fwd = nullptr;  ///< post-epoch forward upload
+  const DeviceGraph* rev = nullptr;  ///< post-epoch reverse upload
+  const Graph* csr = nullptr;        ///< host mirror of fwd (affected-set expansion)
+  /// PageRank rank history: rank_hist[k] = device f64 array of ranks after
+  /// sweep k. Sweep k of a refresh reads rank_hist[k-1] (k==0 reads the
+  /// uniform 1/n inline), so a partial re-rank reproduces the from-scratch
+  /// Jacobi values bit-for-bit.
+  std::vector<Addr> rank_hist;
+  Addr dist_base = 0;      ///< BFS level array (device)
+  std::vector<Word> dist;  ///< host mirror of dist_base, updated per round
+  /// Dirty sets accumulated at compaction, consumed by the next refresh query
+  /// with Seeds::kPending: pr_dirty = vertices whose in-edges or in-neighbor
+  /// outdegrees changed; bfs_dirty = finite-dist sources with new out-edges.
+  std::vector<VertexId> pr_dirty;
+  std::vector<VertexId> bfs_dirty;
+};
 
 struct QuerySpec {
   QueryKind kind = QueryKind::kPageRank;
@@ -69,6 +107,18 @@ struct QuerySpec {
   double damping = 0.85;         ///< PageRank damping factor
   VertexId root = 0;             ///< BFS root
   std::uint32_t coalesce_tuples = 1;  ///< forwarded to the shuffle jobs
+  /// kIncPageRank / kIncBfs only: the streaming session state the query
+  /// refreshes. When set and `graph` is null, the engine fills graph from it
+  /// (rev for kIncPageRank, fwd for kIncBfs). `iterations` must equal
+  /// rank_hist.size() for kIncPageRank.
+  ResidentState* resident = nullptr;
+  /// Incremental seed policy. kPending consumes (moves and clears) the
+  /// resident dirty set at add_query — so register the refresh query AFTER
+  /// the epoch's compaction has run. kAll seeds every vertex (kIncPageRank)
+  /// or just `root` with dist reset (kIncBfs) — the warm-up / full-recompute
+  /// mode.
+  enum class Seeds : std::uint8_t { kPending, kAll };
+  Seeds seeds = Seeds::kPending;
   /// Query name; keep unique per query — it prefixes the KVMSR job names, so
   /// udtrace phase spans and diagnostics attribute work to this query.
   std::string name = "query";
@@ -113,7 +163,9 @@ class QueryEngine {
   /// threads, udcheck-clean. Host-side only.
   void cancel(QueryId q);
 
-  /// Read back results; valid once done(q).
+  /// Read back results; valid once done(q). kIncPageRank / kIncBfs results
+  /// are read from the LIVE resident arrays the query refreshed — collect
+  /// them before a later epoch's refresh overwrites that state.
   QueryResult collect(QueryId q) const;
 
   /// Completion tick / cancellation flag without the array copies of
@@ -156,6 +208,9 @@ class QueryEngine {
   friend struct SqPcReduce;
   friend struct SqTcMap;
   friend struct SqTcReduce;
+  friend struct SqIprMap;
+  friend struct SqIbfsMap;
+  friend struct SqIbfsReduce;
 
   struct Query {
     QuerySpec spec;
@@ -173,7 +228,16 @@ class QueryEngine {
     // between rounds (ordered by the round's message chain).
     std::vector<char> frontier[2];
     std::vector<char> visited;
+    // kIncPageRank: visited, as a compact ascending list. The sweep job
+    // launches keys [0, alist.size()) and maps key -> alist[key], so a
+    // sweep's KVMSR cost scales with the affected set, not num_vertices.
+    std::vector<VertexId> alist;
     unsigned cur_buf = 0;
+    std::uint64_t seeded = 0;  ///< incremental: initial frontier size
+    // kIncBfs per-round level snapshot: levels[v] = resident dist[v] at the
+    // round boundary, refreshed by the driver between rounds so map tasks
+    // never race the reduce-side dist updates within a round.
+    std::vector<Word> levels;
     std::atomic<std::uint64_t> added{0};  ///< vertices discovered this round
     // Driver-owned progress (host-visible once published at a pause point).
     std::uint64_t round = 0;
@@ -219,6 +283,16 @@ class QueryEngine {
     EventLabel tc_rrec = 0;
     EventLabel tc_xchunk = 0;
     EventLabel tc_ychunk = 0;
+    EventLabel d_ipr_round_done = 0;
+    EventLabel d_ibfs_round_done = 0;
+    EventLabel ipr_rrec = 0;
+    EventLabel ipr_ids = 0;
+    EventLabel ipr_deg = 0;
+    EventLabel ipr_rank = 0;
+    EventLabel ipr_written = 0;
+    EventLabel ibfs_rec = 0;
+    EventLabel ibfs_nbrs = 0;
+    EventLabel ibfs_written = 0;
   } lb_;
 };
 

@@ -35,6 +35,7 @@ SchedOptions SchedOptions::from_env() {
   o.max_concurrent = static_cast<std::uint32_t>(env_u64("UD_JOBS", o.max_concurrent, 2048));
   o.max_queue = static_cast<std::uint32_t>(env_u64("UD_JOBS_QUEUE", o.max_queue, 1u << 20));
   o.partition_lanes = env_flag("UD_JOBS_PARTITION", o.partition_lanes);
+  o.aging_quantum = env_u64("UD_JOBS_AGING", o.aging_quantum, ~0ull);
   return o;
 }
 
@@ -80,15 +81,68 @@ void Scheduler::request_cancel(TicketId t, Tick at) {
   cancels_.insert(pos, c);
 }
 
+MutationId Scheduler::add_mutation(Mutation mu) {
+  const MutationId id = static_cast<MutationId>(muts_.size());
+  muts_.push_back(MutRec{std::move(mu), false, false, 0});
+  return id;
+}
+
+bool Scheduler::gated(const Ticket& tk) const {
+  for (const MutRec& r : muts_)
+    if (!r.applied && r.mu.arrival <= tk.arrival) return true;
+  return false;
+}
+
+int Scheduler::effective_qos(const Ticket& tk, Tick now) const {
+  int q = static_cast<int>(tk.qos);
+  if (opt_.aging_quantum == 0) return q;
+  const Tick wait = now > tk.arrival ? now - tk.arrival : 0;
+  const Tick steps = wait / opt_.aging_quantum;
+  return q - static_cast<int>(std::min<Tick>(steps, static_cast<Tick>(q)));
+}
+
+bool Scheduler::sched_before(const Ticket& a, const Ticket& b, Tick now) const {
+  const int ea = effective_qos(a, now);
+  const int eb = effective_qos(b, now);
+  if (ea != eb) return ea < eb;
+  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+  return a.id < b.id;
+}
+
+bool Scheduler::maybe_apply(Tick now) {
+  if (!running_.empty()) return false;
+  bool any = false;
+  for (MutRec& r : muts_) {
+    if (r.applied) continue;
+    if (!r.started || now < r.mu.not_before) break;
+    if (r.mu.ingested && !r.mu.ingested()) break;
+    if (r.mu.apply) r.mu.apply(now);
+    r.applied = true;
+    r.applied_tick = now;
+    any = true;  // later mutations may now be due too; keep going in order
+  }
+  return any;
+}
+
 Tick Scheduler::next_attention() const {
   Tick t = kNever;
   if (next_arrival_ < arrivals_.size())
     t = std::min(t, tickets_[arrivals_[next_arrival_]].arrival);
   if (next_cancel_ < cancels_.size()) t = std::min(t, cancels_[next_cancel_].at);
+  for (const MutRec& r : muts_) {
+    if (r.applied) continue;
+    t = std::min(t, r.started ? r.mu.not_before : r.mu.arrival);
+  }
   return t;
 }
 
 void Scheduler::process_due(Tick now) {
+  // Start due mutations' device-side ingestion (index order == apply order).
+  for (MutRec& r : muts_)
+    if (!r.started && r.mu.arrival <= now) {
+      r.started = true;
+      if (r.mu.start) r.mu.start(now);
+    }
   // Interleave arrivals and cancels in time order; arrivals first on a tie so
   // a same-tick cancel can target the just-arrived ticket.
   for (;;) {
@@ -128,7 +182,7 @@ void Scheduler::process_due(Tick now) {
 void Scheduler::admit(TicketId t, Tick now) {
   Ticket& tk = tickets_[t];
   if (tk.status == TicketStatus::kCancelled) return;  // cancelled before arrival
-  if (running_.size() < opt_.max_concurrent) {
+  if (running_.size() < opt_.max_concurrent && !gated(tk)) {
     dispatch_one(t, now);
   } else if (queue_.size() < opt_.max_queue) {
     tk.status = TicketStatus::kQueued;
@@ -141,14 +195,14 @@ void Scheduler::admit(TicketId t, Tick now) {
 }
 
 void Scheduler::dispatch_ready(Tick now) {
-  while (running_.size() < opt_.max_concurrent && !queue_.empty()) {
-    auto best = std::min_element(queue_.begin(), queue_.end(), [this](TicketId a, TicketId b) {
-      const Ticket& ta = tickets_[a];
-      const Ticket& tb = tickets_[b];
-      if (ta.qos != tb.qos) return ta.qos < tb.qos;
-      if (ta.arrival != tb.arrival) return ta.arrival < tb.arrival;
-      return ta.id < tb.id;
-    });
+  while (running_.size() < opt_.max_concurrent) {
+    auto best = queue_.end();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (gated(tickets_[*it])) continue;
+      if (best == queue_.end() || sched_before(tickets_[*it], tickets_[*best], now))
+        best = it;
+    }
+    if (best == queue_.end()) break;  // empty, or everything gated
     const TicketId t = *best;
     queue_.erase(best);
     dispatch_one(t, now);
@@ -206,8 +260,10 @@ void Scheduler::drain() {
     process_due(now);
     dispatch_ready(now);
     harvest();  // a prior full drain may have finished queries unharvested
-    const bool more_host_work =
+    if (maybe_apply(m_.now())) dispatch_ready(m_.now());  // ungates tickets
+    bool more_host_work =
         next_arrival_ < arrivals_.size() || next_cancel_ < cancels_.size();
+    for (const MutRec& r : muts_) more_host_work |= !r.applied;
     if (running_.empty() && queue_.empty() && !more_host_work) {
       // All tickets resolved. The last run_until may have stopped on the
       // final completion predicate rather than a clean drain, which skips
@@ -218,9 +274,34 @@ void Scheduler::drain() {
     }
     const Tick target = next_attention();
     if (target != kNever) ensure_tick(target);
+    // If the only thing left to wait for is a mutation's device-side
+    // ingestion, no query-completion or timer predicate will fire — run the
+    // ingest job to completion instead, then loop to apply it.
+    bool ingest_only = running_.empty();
+    if (ingest_only) {
+      ingest_only = false;
+      for (const MutRec& r : muts_) {
+        if (r.applied) continue;
+        ingest_only = r.started && r.mu.ingested && !r.mu.ingested();
+        break;
+      }
+    }
+    if (ingest_only && (target == kNever || eng_.tick_seen() >= target)) {
+      m_.run();
+      continue;
+    }
     m_.run_until([this, target] {
       for (const TicketId t : running_)
         if (eng_.done(tickets_[t].query)) return true;
+      if (running_.empty()) {
+        for (const MutRec& r : muts_) {
+          if (r.applied) continue;
+          if (r.started && (!r.mu.ingested || r.mu.ingested()) &&
+              (r.mu.not_before == 0 || eng_.tick_seen() >= r.mu.not_before))
+            return true;
+          break;  // mutations resolve in order
+        }
+      }
       return target != kNever && eng_.tick_seen() >= target;
     });
     harvest();

@@ -29,9 +29,25 @@
 // counters_since(snapshot) at completion give the host-side event/message
 // counters spent while the ticket was running (overlapping tickets share the
 // machine, so these are window counters, not an exclusive attribution).
+// Mutations: add_mutation() interleaves a graph mutation into the admitted
+// stream. A mutation has an arrival tick (its place in the admission order),
+// an optional device-side ingestion phase started at arrival, and a
+// host-side apply that runs only at a quiescent point — no queries in
+// flight — at or after `not_before` (the streaming layer rounds this up to
+// the next UD_STREAM_EPOCH boundary). Any ticket arriving at or after the
+// mutation's arrival is held out of dispatch until the mutation applies, so
+// post-delta queries always see the post-delta graph; earlier tickets run
+// to completion first, which is what makes the apply point deterministic.
+//
+// Aging: with SchedOptions::aging_quantum > 0 (UD_JOBS_AGING) a queued
+// ticket's effective QoS class improves by one for every quantum of ticks it
+// has waited, so a saturated high-QoS stream cannot starve the batch tier
+// forever. Off by default — dispatch order (and therefore every existing
+// schedule) is unchanged unless the knob is set.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <string>
 #include <vector>
@@ -62,9 +78,31 @@ struct SchedOptions {
   std::uint32_t max_concurrent = 4;  ///< running slots (UD_JOBS)
   std::uint32_t max_queue = 16;      ///< admission queue bound (UD_JOBS_QUEUE)
   bool partition_lanes = false;      ///< slot lane partitions (UD_JOBS_PARTITION)
+  /// Queue-wait ticks per one-class effective-QoS promotion (UD_JOBS_AGING).
+  /// 0 = aging off: strict (qos, arrival, id) dispatch order.
+  Tick aging_quantum = 0;
 
-  /// Defaults overridden by UD_JOBS / UD_JOBS_QUEUE / UD_JOBS_PARTITION.
+  /// Defaults overridden by UD_JOBS / UD_JOBS_QUEUE / UD_JOBS_PARTITION /
+  /// UD_JOBS_AGING.
   static SchedOptions from_env();
+};
+
+using MutationId = std::uint32_t;
+
+/// A graph mutation riding the admission stream (see header comment). The
+/// scheduler only sequences it; the callbacks own the actual work (the
+/// streaming layer binds them to delta-batch ingestion and compaction).
+struct Mutation {
+  Tick arrival = 0;     ///< place in the admission order
+  Tick not_before = 0;  ///< apply at/after this tick (epoch boundary)
+  /// Launch device-side ingestion; called once, at the first host-attention
+  /// point at/after `arrival`. Null = no device phase.
+  std::function<void(Tick)> start;
+  /// True once the device-side ingestion has completed. Null = immediate.
+  std::function<bool()> ingested;
+  /// Host-side apply (compaction). Runs with no queries in flight, at a tick
+  /// >= not_before. Null = marker-only mutation.
+  std::function<void(Tick)> apply;
 };
 
 struct Ticket {
@@ -97,6 +135,13 @@ class Scheduler {
   /// queued ticket is dropped; a running one drains via QueryEngine::cancel.
   void request_cancel(TicketId t, Tick at);
 
+  /// Interleave a mutation into the admission stream. Mutations apply in
+  /// add_mutation order; add them in arrival order.
+  MutationId add_mutation(Mutation mu);
+  bool mutation_applied(MutationId m) const { return muts_.at(m).applied; }
+  Tick mutation_applied_tick(MutationId m) const { return muts_.at(m).applied_tick; }
+  std::size_t num_mutations() const { return muts_.size(); }
+
   /// Run the simulated timeline until every submitted ticket has resolved
   /// (done / rejected / cancelled). Idempotent; call again after more
   /// submit()s.
@@ -117,6 +162,13 @@ class Scheduler {
     TicketId ticket = 0;
   };
 
+  struct MutRec {
+    Mutation mu;
+    bool started = false;
+    bool applied = false;
+    Tick applied_tick = 0;
+  };
+
   Tick next_attention() const;     ///< earliest unprocessed arrival/cancel
   void process_due(Tick now);      ///< admissions + cancels with time <= now
   void admit(TicketId t, Tick now);
@@ -124,6 +176,14 @@ class Scheduler {
   void dispatch_one(TicketId t, Tick now);
   void harvest();                  ///< finished running tickets -> kDone
   void ensure_tick(Tick at);       ///< inject a host timer event once per time
+  /// Dispatch hold: some unapplied mutation arrived at/before this ticket.
+  bool gated(const Ticket& tk) const;
+  /// QoS class after aging promotion (== qos when aging is off).
+  int effective_qos(const Ticket& tk, Tick now) const;
+  bool sched_before(const Ticket& a, const Ticket& b, Tick now) const;
+  /// Apply every due mutation (in order) if the engine is quiescent.
+  /// Returns true if any applied — gated tickets may now be eligible.
+  bool maybe_apply(Tick now);
 
   QueryEngine& eng_;
   Machine& m_;
@@ -140,6 +200,7 @@ class Scheduler {
   std::vector<TicketId> slots_;    ///< slot -> ticket (partition mode)
   std::vector<MachineStats> stats_base_;  ///< per-ticket dispatch snapshots
   std::vector<Tick> ticked_;       ///< timer times already injected
+  std::vector<MutRec> muts_;       ///< mutations, in apply order
   std::uint64_t rejected_ = 0;
 };
 

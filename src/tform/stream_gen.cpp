@@ -6,11 +6,25 @@
 
 namespace updown::tform {
 
+std::string encode_records(const std::vector<EdgeRecord>& records) {
+  std::string bytes;
+  bytes.reserve(records.size() * kRecordBytes);
+  for (const EdgeRecord& r : records) {
+    std::string line = std::to_string(r.src) + ',' + std::to_string(r.dst) + ',' +
+                       std::to_string(r.type);
+    if (line.size() >= kRecordBytes)
+      throw std::logic_error("record encoding exceeds 64 bytes");
+    line.append(kRecordBytes - 1 - line.size(), ' ');
+    line.push_back('\n');
+    bytes += line;
+  }
+  return bytes;
+}
+
 RecordStream make_stream(std::uint64_t n_records, std::uint64_t n_vertices,
                          std::uint64_t n_types, std::uint64_t seed) {
   Xoshiro256 rng(seed);
   RecordStream out;
-  out.bytes.reserve(n_records * kRecordBytes);
   out.records.reserve(n_records);
   for (std::uint64_t i = 0; i < n_records; ++i) {
     EdgeRecord r;
@@ -18,14 +32,8 @@ RecordStream make_stream(std::uint64_t n_records, std::uint64_t n_vertices,
     r.dst = rng.below(n_vertices);
     r.type = 1 + rng.below(n_types);
     out.records.push_back(r);
-    std::string line = std::to_string(r.src) + ',' + std::to_string(r.dst) + ',' +
-                       std::to_string(r.type);
-    if (line.size() >= kRecordBytes)
-      throw std::logic_error("record encoding exceeds 64 bytes");
-    line.append(kRecordBytes - 1 - line.size(), ' ');
-    line.push_back('\n');
-    out.bytes += line;
   }
+  out.bytes = encode_records(out.records);
   return out;
 }
 

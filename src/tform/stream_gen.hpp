@@ -29,4 +29,8 @@ struct RecordStream {
 RecordStream make_stream(std::uint64_t n_records, std::uint64_t n_vertices = 4096,
                          std::uint64_t n_types = 8, std::uint64_t seed = 1);
 
+/// Encode specific records in the 64-byte space-padded CSV format — the
+/// streaming delta path, where tests and benches control the exact edges.
+std::string encode_records(const std::vector<EdgeRecord>& records);
+
 }  // namespace updown::tform

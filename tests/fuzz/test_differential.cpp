@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cstdlib>
 #include <deque>
 #include <string>
@@ -26,6 +27,7 @@
 #include "common/rng.hpp"
 #include "graph/generators.hpp"
 #include "serve/query_engine.hpp"
+#include "stream/stream.hpp"
 
 namespace updown {
 namespace {
@@ -222,6 +224,64 @@ void fuzz_concurrent(Xoshiro256& rng) {
   }
 }
 
+/// Streaming dimension: a resident session over a seeded base graph takes
+/// 1–3 seeded delta batches (device-ingested or host-staged, with injected
+/// duplicates and self-loops), compacting and incrementally refreshing after
+/// each epoch. Incremental PageRank must match the from-scratch CPU baseline
+/// on the post-delta graph BIT-for-bit (the rank-history pull design), and
+/// incremental BFS repair must land on the from-scratch distances.
+void fuzz_streaming(Xoshiro256& rng) {
+  Graph base = fuzz_graph(rng, rng.below(2) == 0);
+  const VertexId n = base.num_vertices();
+  Machine m(MachineConfig::scaled(fuzz_nodes(rng)));
+  stream::StreamOptions opt;
+  opt.pr_iterations = 1 + static_cast<std::uint32_t>(rng.below(3));
+  opt.damping = 0.5 + rng.uniform() * 0.49;
+  opt.bfs_root = rng.below(n);
+  auto& se = stream::StreamEngine::install(m, base, opt);
+  se.warm();
+
+  Graph cur = base;
+  const int epochs = 1 + static_cast<int>(rng.below(3));
+  for (int e = 0; e < epochs; ++e) {
+    std::vector<tform::EdgeRecord> recs;
+    const std::uint64_t nrec = 1 + rng.below(24);
+    for (std::uint64_t i = 0; i < nrec; ++i) {
+      const tform::EdgeRecord r{rng.below(n), rng.below(n), rng.below(8)};
+      recs.push_back(r);
+      if (rng.below(4) == 0) recs.push_back(r);                    // duplicate
+      if (rng.below(8) == 0) recs.push_back({r.src, r.src, 0});    // self-loop
+    }
+    if (rng.below(2) == 0) {
+      const std::uint64_t b = se.ingest_async(recs, m.now());
+      m.run();
+      ASSERT_TRUE(se.ingested(b)) << "epoch " << e << " ingestion stalled";
+    } else {
+      se.stage(recs);
+    }
+    se.compact(m.now());
+
+    std::vector<Edge> edges;
+    for (VertexId u = 0; u < n; ++u)
+      for (const VertexId v : cur.neighbors_of(u)) edges.emplace_back(u, v);
+    for (const tform::EdgeRecord& r : recs) edges.emplace_back(r.src, r.dst);
+    cur = Graph::from_edges(n, std::move(edges), false);
+
+    const stream::RefreshResult rr = se.refresh();
+    const auto pr_oracle = baseline::pagerank(cur, opt.pr_iterations, opt.damping);
+    for (VertexId v = 0; v < n; ++v)
+      ASSERT_EQ(std::bit_cast<Word>(rr.pr.rank[v]), std::bit_cast<Word>(pr_oracle[v]))
+          << "incremental pagerank diverged at vertex " << v << " epoch " << e;
+    const auto bfs_oracle = baseline::bfs(cur, opt.bfs_root);
+    for (VertexId v = 0; v < n; ++v)
+      ASSERT_EQ(rr.bfs.dist[v], bfs_oracle.dist[v])
+          << "incremental bfs diverged at vertex " << v << " epoch " << e;
+  }
+  if (m.stats().check.enabled) {
+    ASSERT_EQ(m.stats().check.errors(), 0u) << "checker false positive";
+  }
+}
+
 void fuzz_bucket_sort(Xoshiro256& rng) {
   Machine m(MachineConfig::scaled(fuzz_nodes(rng)));
   auto& gs = gsort::GlobalSort::install(m);
@@ -300,11 +360,12 @@ void run_case(std::uint64_t case_seed) {
   // Half the cases run the classic shuffle, half a coalesced one.
   static constexpr std::uint32_t kCoalesce[] = {1, 1, 1, 4, 16, 64};
   CoalesceGuard coalesce(kCoalesce[rng.below(6)]);
-  switch (rng.below(5)) {
+  switch (rng.below(6)) {
     case 0: fuzz_pagerank(rng); break;
     case 1: fuzz_bfs(rng); break;
     case 2: fuzz_tc(rng); break;
     case 3: fuzz_bucket_sort(rng); break;
+    case 4: fuzz_streaming(rng); break;
     default: fuzz_concurrent(rng); break;
   }
 }

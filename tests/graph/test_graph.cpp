@@ -25,6 +25,34 @@ TEST(Graph, SymmetrizeAddsReverseEdges) {
   EXPECT_EQ(g.num_edges(), 4u);
 }
 
+TEST(Graph, HasEdgeOnUnsortedFromCsrUsesLinearScan) {
+  // Regression: has_edge ran std::binary_search unconditionally, which gives
+  // undefined answers on an unsorted adjacency list — from_csr adoptions
+  // (e.g. the split-vertex graph) silently reported present edges missing.
+  Graph g = Graph::from_csr({0, 3, 3}, {9, 2, 5}, /*sorted=*/false);
+  EXPECT_FALSE(g.sorted());
+  EXPECT_TRUE(g.has_edge(0, 9));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(0, 5));  // binary_search missed this one
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(1, 9));
+  // from_edges output stays on the binary-search fast path, and an adoption
+  // with genuinely sorted lists may vouch for itself.
+  EXPECT_TRUE(Graph::from_edges(3, {{0, 2}}).sorted());
+  EXPECT_TRUE(Graph::from_csr({0, 2}, {1, 2}, /*sorted=*/true).sorted());
+}
+
+#ifndef NDEBUG
+TEST(GraphDeathTest, OutOfRangeVertexAssertsInDebug) {
+  // degree/offset/neighbors_of index offsets_[v + 1] unchecked; out-of-range
+  // ids must die on the assert in Debug instead of reading past the array.
+  Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  EXPECT_DEATH(g.degree(3), "out of range");
+  EXPECT_DEATH(g.offset(4), "out of range");
+  EXPECT_DEATH(g.neighbors_of(7), "out of range");
+}
+#endif
+
 TEST(Generators, RmatHasRequestedShape) {
   Graph g = rmat(10);
   EXPECT_EQ(g.num_vertices(), 1024u);

@@ -345,6 +345,46 @@ TEST(ServeScheduler, HighQosLeapfrogsLowQosBacklog) {
   }
 }
 
+TEST(ServeScheduler, AgingUnstarvesBatchTierUnderSaturatedHighQos) {
+  // PR 9 follow-up: with strict (qos, arrival) order, a continuously-arriving
+  // high-QoS stream holds the single slot forever and the batch ticket never
+  // dispatches until the stream dries up. With aging_quantum set, the batch
+  // ticket's effective class improves as it waits (ties break by arrival, so
+  // the aged early arrival beats fresher high-QoS tickets) and it dispatches
+  // in the middle of the stream.
+  const auto run = [](Tick quantum) {
+    Machine m(MachineConfig::scaled(2));
+    auto& eng = QueryEngine::install(m);
+    Graph g = rmat(7, {}, 9);
+    DeviceGraph dg = upload_graph(m, g);
+    SchedOptions opt;
+    opt.max_concurrent = 1;
+    opt.max_queue = 32;
+    opt.aging_quantum = quantum;
+    Scheduler sched(eng, opt);
+    // The first high is submitted before the batch ticket so it wins the
+    // free slot at tick 0; the rest of the stream keeps the slot contested.
+    std::vector<TicketId> highs;
+    highs.push_back(sched.submit(quick_pr(dg, "hi0"), QoS::kHigh, 0));
+    const TicketId batch = sched.submit(quick_pr(dg, "batch"), QoS::kLow, 0);
+    for (int i = 1; i < 6; ++i)
+      highs.push_back(sched.submit(quick_pr(dg, "hi" + std::to_string(i)),
+                                   QoS::kHigh, static_cast<Tick>(i) * 1000));
+    sched.drain();
+    EXPECT_EQ(sched.ticket(batch).status, TicketStatus::kDone);
+    for (const TicketId h : highs) EXPECT_EQ(sched.ticket(h).status, TicketStatus::kDone);
+    return std::pair{sched.ticket(batch).dispatch, sched.ticket(highs.back()).dispatch};
+  };
+  // Aging off (the default): the whole high backlog dispatches first —
+  // starvation, and exactly the pre-aging schedule.
+  const auto [starved, last_high_off] = run(0);
+  EXPECT_GT(starved, last_high_off);
+  // Aging on: the batch ticket is promoted a class per quantum waited and
+  // leapfrogs the remaining highs well before the stream ends.
+  const auto [aged, last_high_on] = run(2000);
+  EXPECT_LT(aged, last_high_on);
+}
+
 TEST(ServeScheduler, MidFlightCancellationDrainsCleanUnderCheck) {
   EnvGuard g1("UD_CHECK", "1");
   EnvGuard g2("UD_SHARDS", "1");
